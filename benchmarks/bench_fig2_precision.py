@@ -1,0 +1,33 @@
+"""Benchmark F2 — QPE precision: quantization error, leakage, accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2_precision_sweep
+
+
+@pytest.mark.benchmark(group="F2")
+def test_bench_precision_sweep(benchmark, quick_trials):
+    records = benchmark.pedantic(
+        lambda: fig2_precision_sweep.run(
+            precisions=(2, 7), num_nodes=40, trials=quick_trials
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    def rows(precision):
+        return [r for r in records if r.parameters["p"] == precision]
+
+    # paper shape: the eigenvalue filter sharpens with precision — bulk
+    # leakage into the cluster subspace falls by an order of magnitude
+    # between p=2 and p=7 ...
+    leak_coarse = np.mean([r.extra["bulk_leakage"] for r in rows(2)])
+    leak_fine = np.mean([r.extra["bulk_leakage"] for r in rows(7)])
+    assert leak_fine < leak_coarse / 5
+    # ... while end-to-end accuracy is already saturated (robustness
+    # finding recorded in EXPERIMENTS.md).
+    assert np.mean([r.ari for r in rows(7)]) > 0.85
+    assert np.mean([r.ari for r in rows(7)]) >= np.mean(
+        [r.ari for r in rows(2)]
+    ) - 0.1

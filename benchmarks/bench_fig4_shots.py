@@ -1,0 +1,28 @@
+"""Benchmark F4 — accuracy and embedding error versus tomography shots."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4_shots_sweep
+
+
+@pytest.mark.benchmark(group="F4")
+def test_bench_shots_sweep(benchmark, quick_trials):
+    records = benchmark.pedantic(
+        lambda: fig4_shots_sweep.run(
+            shot_budgets=(32, 2048), num_nodes=40, trials=quick_trials
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    def rows(shots):
+        return [r for r in records if r.parameters["shots"] == shots]
+
+    low_error = np.mean([r.extra["embedding_error"] for r in rows(2048)])
+    high_error = np.mean([r.extra["embedding_error"] for r in rows(32)])
+    # paper shape: tomography error decreases with shots (≈ 1/sqrt law)
+    assert low_error < high_error
+    assert np.mean([r.ari for r in rows(2048)]) >= np.mean(
+        [r.ari for r in rows(32)]
+    ) - 0.05

@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the same experiment code as ``repro.experiments`` at reduced
+scale so the full suite stays in the minutes range; the `main()` entry
+points of the experiment modules regenerate the full-scale tables.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_trials():
+    """Trial count used by benchmark-scale sweeps."""
+    return 2

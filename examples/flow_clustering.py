@@ -1,0 +1,81 @@
+"""Flow clustering: finding stages in a directed processing pipeline.
+
+Scenario: tasks in a dataflow system exchange messages.  Tasks in the same
+stage talk to each other symmetrically; messages between stages flow
+strictly forward (stage 0 -> 1 -> 2 -> 0).  Edge *density* is identical
+everywhere, so any method that symmetrizes the graph sees a featureless
+blob — the stage structure lives entirely in arc orientation.
+
+The example sweeps the orientation consistency and prints the recovery
+curve for the quantum Hermitian method against the symmetrized baseline,
+reproducing the F1 crossover shape.
+
+Run:  python examples/flow_clustering.py
+"""
+
+import numpy as np
+
+from repro import (
+    QSCConfig,
+    QuantumSpectralClustering,
+    adjusted_rand_index,
+    cyclic_flow_sbm,
+)
+from repro.baselines import SymmetrizedSpectralClustering
+from repro.graphs import ensure_connected
+from repro.metrics import cut_imbalance, flow_ratio
+
+
+def main():
+    num_nodes, num_stages = 72, 3
+    print(f"{num_nodes} tasks, {num_stages} pipeline stages, equal density everywhere")
+    print(f"{'orientation':>12} {'quantum ARI':>12} {'symmetrized ARI':>16}")
+    for strength in (0.5, 0.7, 0.85, 1.0):
+        quantum_scores, baseline_scores = [], []
+        for trial in range(3):
+            seed = 10 * trial + int(strength * 100)
+            graph, truth = cyclic_flow_sbm(
+                num_nodes,
+                num_stages,
+                density=0.3,
+                direction_strength=strength,
+                intra_directed=True,
+                seed=seed,
+            )
+            ensure_connected(graph, seed=seed)
+            config = QSCConfig(precision_bits=7, shots=1024, seed=seed)
+            quantum = QuantumSpectralClustering(num_stages, config).fit(graph)
+            baseline = SymmetrizedSpectralClustering(num_stages, seed=seed).fit(
+                graph
+            )
+            quantum_scores.append(adjusted_rand_index(truth, quantum.labels))
+            baseline_scores.append(adjusted_rand_index(truth, baseline.labels))
+        print(
+            f"{strength:>12.2f} {np.mean(quantum_scores):>12.3f} "
+            f"{np.mean(baseline_scores):>16.3f}"
+        )
+
+    # Inspect the directional quality of the partition the quantum method
+    # finds at full orientation consistency.
+    graph, truth = cyclic_flow_sbm(
+        num_nodes,
+        num_stages,
+        density=0.3,
+        direction_strength=1.0,
+        intra_directed=True,
+        seed=99,
+    )
+    ensure_connected(graph, seed=99)
+    result = QuantumSpectralClustering(
+        num_stages, QSCConfig(precision_bits=7, shots=1024, seed=99)
+    ).fit(graph)
+    print(
+        f"\nat strength 1.0 the found partition has flow_ratio="
+        f"{flow_ratio(graph, result.labels):.2f} (1.0 = all boundary arcs "
+        f"agree) and cut_imbalance={cut_imbalance(graph, result.labels):.2f} "
+        f"(0.5 = perfectly one-directional)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Netlist partitioning: the DAC-native workload.
+
+Generates a hierarchical synthetic netlist (three modules of logic gates
+joined by forward signal nets), converts it to a mixed graph — signal flow
+becomes directed arcs, register couplings and net cliques become undirected
+edges — and recovers the module structure with quantum spectral clustering.
+Finishes by partitioning the embedded ISCAS-85 c17 benchmark at gate level
+with the full circuit (statevector) backend.
+
+Run:  python examples/netlist_partitioning.py
+"""
+
+import numpy as np
+
+from repro import (
+    QSCConfig,
+    QuantumSpectralClustering,
+    adjusted_rand_index,
+    load_c17,
+    synthetic_netlist,
+)
+from repro.baselines import SymmetrizedSpectralClustering
+from repro.graphs import ensure_connected
+from repro.metrics import partition_summary
+
+NETLIST_THETA = float(np.pi / 4)  # softer phase suits DAG-heavy graphs
+
+
+def partition_synthetic():
+    netlist = synthetic_netlist(
+        num_modules=3,
+        gates_per_module=14,
+        internal_fanin=3,
+        cross_module_nets=2,
+        feedback_registers=3,
+        seed=1,
+    )
+    graph = netlist.to_mixed_graph(net_cliques=True)
+    ensure_connected(graph, seed=1)
+    truth = netlist.module_labels()
+    print(f"synthetic netlist: {netlist.num_gates} cells -> {graph}")
+
+    config = QSCConfig(
+        precision_bits=7, shots=2048, theta=NETLIST_THETA, seed=3
+    )
+    quantum = QuantumSpectralClustering(3, config).fit(graph)
+    baseline = SymmetrizedSpectralClustering(3, seed=3).fit(graph)
+
+    print(f"  quantum     ARI = {adjusted_rand_index(truth, quantum.labels):.3f}")
+    print(f"  symmetrized ARI = {adjusted_rand_index(truth, baseline.labels):.3f}")
+    metrics = partition_summary(graph, quantum.labels)
+    print(
+        "  quantum partition: cut={cut_weight:.1f} "
+        "imbalance={cut_imbalance:.2f} flow_ratio={flow_ratio:.2f} "
+        "modularity={modularity:.2f}".format(**metrics)
+    )
+
+
+def partition_c17():
+    netlist = load_c17()
+    graph = netlist.to_mixed_graph(net_cliques=True)
+    ensure_connected(graph, seed=0)
+    print(f"\nISCAS-85 c17: {netlist.num_gates} cells -> {graph}")
+
+    config = QSCConfig(
+        backend="circuit",  # full statevector QPE on this 11-node graph
+        precision_bits=5,
+        shots=4096,
+        theta=NETLIST_THETA,
+        seed=0,
+    )
+    result = QuantumSpectralClustering(2, config).fit(graph)
+    names = graph.node_labels
+    for cluster in range(2):
+        members = [names[i] for i in np.flatnonzero(result.labels == cluster)]
+        print(f"  partition {cluster}: {', '.join(members)}")
+    metrics = partition_summary(graph, result.labels)
+    print(
+        "  cut={cut_weight:.1f} imbalance={cut_imbalance:.2f} "
+        "flow_ratio={flow_ratio:.2f}".format(**metrics)
+    )
+
+
+if __name__ == "__main__":
+    partition_synthetic()
+    partition_c17()

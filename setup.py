@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (which shell out to ``bdist_wheel``) fail.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+fall back to the legacy ``setup.py develop`` path, which needs neither.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Quantum spectral clustering of mixed graphs (DAC 2021 reproduction).
+
+Public API
+----------
+The most common entry points are re-exported at package level:
+
+>>> from repro import MixedGraph, QuantumSpectralClustering, QSCConfig
+>>> from repro import ClassicalSpectralClustering, mixed_sbm
+
+Subpackages
+-----------
+``repro.quantum``     from-scratch quantum simulator substrate
+``repro.graphs``      mixed graphs, Hermitian Laplacians, generators, netlists
+``repro.spectral``    classical eigensolvers, embeddings, k-means
+``repro.core``        the quantum pipeline (QPE filtering + q-means)
+``repro.baselines``   symmetrized / random-walk / DiSim / naive baselines
+``repro.metrics``     ARI, NMI, accuracy, cut imbalance, flow ratio
+``repro.experiments`` one module per paper table/figure
+"""
+
+from repro.core import (
+    QSCConfig,
+    QSCResult,
+    QuantumSpectralClustering,
+    quantum_spectral_clustering,
+)
+from repro.graphs import (
+    MixedGraph,
+    cyclic_flow_sbm,
+    hermitian_adjacency,
+    hermitian_laplacian,
+    load_c17,
+    mixed_sbm,
+    parse_bench,
+    random_mixed_graph,
+    synthetic_netlist,
+)
+from repro.spectral import (
+    ClassicalSpectralClustering,
+    classical_spectral_clustering,
+)
+from repro.baselines import (
+    AdjacencyKMeans,
+    DiSimClustering,
+    RandomWalkSpectralClustering,
+    SymmetrizedSpectralClustering,
+)
+from repro.metrics import (
+    adjusted_rand_index,
+    clustering_report,
+    cut_imbalance,
+    flow_ratio,
+    matched_accuracy,
+    normalized_mutual_information,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QSCConfig",
+    "QSCResult",
+    "QuantumSpectralClustering",
+    "quantum_spectral_clustering",
+    "MixedGraph",
+    "cyclic_flow_sbm",
+    "hermitian_adjacency",
+    "hermitian_laplacian",
+    "load_c17",
+    "mixed_sbm",
+    "parse_bench",
+    "random_mixed_graph",
+    "synthetic_netlist",
+    "ClassicalSpectralClustering",
+    "classical_spectral_clustering",
+    "AdjacencyKMeans",
+    "DiSimClustering",
+    "RandomWalkSpectralClustering",
+    "SymmetrizedSpectralClustering",
+    "adjusted_rand_index",
+    "clustering_report",
+    "cut_imbalance",
+    "flow_ratio",
+    "matched_accuracy",
+    "normalized_mutual_information",
+    "__version__",
+]

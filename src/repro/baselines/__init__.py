@@ -1,0 +1,37 @@
+"""Classical baselines the quantum algorithm is compared against."""
+
+from repro.baselines.symmetrized import (
+    SymmetrizedSpectralClustering,
+    symmetrized_laplacian,
+)
+from repro.baselines.rw_laplacian import (
+    RandomWalkSpectralClustering,
+    chung_laplacian,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.baselines.disim import DiSimClustering, disim_embedding
+from repro.baselines.naive import AdjacencyKMeans
+from repro.baselines.nystrom import NystromSpectralClustering, nystrom_embedding
+from repro.baselines.label_propagation import (
+    LabelPropagationClustering,
+    PropagationResult,
+    label_propagation,
+)
+
+__all__ = [
+    "NystromSpectralClustering",
+    "nystrom_embedding",
+    "LabelPropagationClustering",
+    "PropagationResult",
+    "label_propagation",
+    "SymmetrizedSpectralClustering",
+    "symmetrized_laplacian",
+    "RandomWalkSpectralClustering",
+    "chung_laplacian",
+    "stationary_distribution",
+    "transition_matrix",
+    "DiSimClustering",
+    "disim_embedding",
+    "AdjacencyKMeans",
+]

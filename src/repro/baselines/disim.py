@@ -1,0 +1,97 @@
+"""DiSim baseline: SVD co-clustering of the directed adjacency matrix.
+
+Rohe et al. (2016) cluster directed graphs from the singular vectors of a
+regularized graph Laplacian: left singular vectors capture "sending"
+behaviour, right singular vectors "receiving" behaviour.  Concatenating
+both gives an embedding sensitive to asymmetric connectivity patterns — a
+second directed competitor for the comparison tables, structurally very
+different from both the Hermitian and the walk-based approaches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.graphs.mixed_graph import MixedGraph
+from repro.spectral.clustering import ClusteringResult
+from repro.spectral.embedding import row_normalize
+from repro.spectral.kmeans import kmeans
+
+
+def disim_embedding(
+    graph: MixedGraph, num_clusters: int, regularization: float | None = None
+) -> np.ndarray:
+    """[left | right] singular-vector embedding of the regularized Laplacian.
+
+    Parameters
+    ----------
+    graph:
+        Input mixed graph.
+    num_clusters:
+        Number of singular directions kept per side.
+    regularization:
+        τ added to degrees (default: mean out-degree, per the DiSim paper).
+    """
+    if num_clusters < 1 or num_clusters > graph.num_nodes:
+        raise ClusteringError(
+            f"num_clusters must be in [1, {graph.num_nodes}], got {num_clusters}"
+        )
+    adjacency = graph.directed_adjacency()
+    out_degree = adjacency.sum(axis=1)
+    in_degree = adjacency.sum(axis=0)
+    tau = regularization if regularization is not None else float(out_degree.mean())
+    tau = max(tau, 1e-12)
+    out_scale = 1.0 / np.sqrt(out_degree + tau)
+    in_scale = 1.0 / np.sqrt(in_degree + tau)
+    laplacian = out_scale[:, None] * adjacency * in_scale[None, :]
+    left, _, right_t = np.linalg.svd(laplacian)
+    return np.hstack(
+        [left[:, :num_clusters], right_t[:num_clusters, :].T]
+    )
+
+
+class DiSimClustering:
+    """Directed co-clustering via singular vectors (Rohe et al. 2016).
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters k.
+    regularization:
+        Degree regularizer τ (default: mean degree).
+    seed:
+        RNG seed for k-means.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        regularization: float | None = None,
+        kmeans_restarts: int = 4,
+        seed=None,
+    ):
+        if num_clusters < 1:
+            raise ClusteringError(f"num_clusters must be >= 1, got {num_clusters}")
+        self.num_clusters = num_clusters
+        self.regularization = regularization
+        self.kmeans_restarts = kmeans_restarts
+        self.seed = seed
+
+    def fit(self, graph: MixedGraph) -> ClusteringResult:
+        """Cluster from the co-embedding of sending/receiving profiles."""
+        embedding = row_normalize(
+            disim_embedding(graph, self.num_clusters, self.regularization)
+        )
+        km = kmeans(
+            embedding,
+            self.num_clusters,
+            num_restarts=self.kmeans_restarts,
+            seed=self.seed,
+        )
+        return ClusteringResult(
+            labels=km.labels,
+            embedding=embedding,
+            kmeans=km,
+            method="disim",
+        )

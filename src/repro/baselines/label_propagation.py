@@ -1,0 +1,106 @@
+"""Label propagation: the no-linear-algebra community-detection floor.
+
+Raghavan et al.'s asynchronous label propagation: every node repeatedly
+adopts the weighted-majority label of its neighbourhood until fixpoint.
+Near-linear time, no spectra, no k — the number of clusters is emergent.
+Included as the "cheapest possible" comparator and as a direction-blind
+foil (it runs on the symmetrized graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.graphs.mixed_graph import MixedGraph
+from repro.utils.rng import ensure_rng
+
+
+def label_propagation(
+    graph: MixedGraph,
+    max_sweeps: int = 100,
+    seed=None,
+) -> np.ndarray:
+    """Run asynchronous label propagation; returns compacted labels.
+
+    Parameters
+    ----------
+    graph:
+        Input mixed graph (arc directions ignored).
+    max_sweeps:
+        Full-node-permutation sweeps before giving up (the algorithm
+        almost always fixes within a handful).
+    seed:
+        Permutation/tie-break seed.
+
+    Returns
+    -------
+    Integer labels, relabelled to 0..c−1 in first-appearance order.
+    """
+    if max_sweeps < 1:
+        raise ClusteringError(f"max_sweeps must be >= 1, got {max_sweeps}")
+    rng = ensure_rng(seed)
+    adjacency = graph.symmetrized_adjacency()
+    n = graph.num_nodes
+    labels = np.arange(n)
+    neighbors = [np.flatnonzero(adjacency[node]) for node in range(n)]
+    for _ in range(max_sweeps):
+        changed = False
+        for node in rng.permutation(n):
+            nbrs = neighbors[node]
+            if nbrs.size == 0:
+                continue
+            weights: dict[int, float] = {}
+            for neighbor in nbrs:
+                lbl = int(labels[neighbor])
+                weights[lbl] = weights.get(lbl, 0.0) + adjacency[node, neighbor]
+            best_weight = max(weights.values())
+            candidates = sorted(
+                lbl for lbl, w in weights.items() if w >= best_weight - 1e-12
+            )
+            choice = candidates[int(rng.integers(len(candidates)))]
+            if choice != labels[node]:
+                labels[node] = choice
+                changed = True
+        if not changed:
+            break
+    # compact label ids
+    mapping: dict[int, int] = {}
+    compact = np.empty(n, dtype=int)
+    for index, label in enumerate(labels):
+        if label not in mapping:
+            mapping[int(label)] = len(mapping)
+        compact[index] = mapping[int(label)]
+    return compact
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Labels plus the emergent community count."""
+
+    labels: np.ndarray
+    method: str = "label-propagation"
+
+    @property
+    def num_communities(self) -> int:
+        """Number of distinct labels the propagation settled on."""
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+
+class LabelPropagationClustering:
+    """Estimator-style wrapper so label propagation fits the method panel.
+
+    Because the cluster count is emergent, ``fit`` reports whatever the
+    algorithm found; the panel's metrics (ARI/NMI) handle differing
+    cluster counts gracefully.
+    """
+
+    def __init__(self, num_clusters: int | None = None, seed=None):
+        self.num_clusters = num_clusters  # advisory only
+        self.seed = seed
+
+    def fit(self, graph: MixedGraph) -> PropagationResult:
+        """Run propagation and return the labels."""
+        return PropagationResult(labels=label_propagation(graph, seed=self.seed))

@@ -1,0 +1,49 @@
+"""Naive baseline: k-means directly on adjacency rows.
+
+No spectral step at all — each node is represented by its row of the
+symmetrized adjacency matrix.  This floor baseline shows how much of the
+benchmark is solvable without any eigenstructure.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ClusteringError
+from repro.graphs.mixed_graph import MixedGraph
+from repro.spectral.clustering import ClusteringResult
+from repro.spectral.embedding import row_normalize
+from repro.spectral.kmeans import kmeans
+
+
+class AdjacencyKMeans:
+    """k-means on raw (row-normalized) adjacency rows.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters k.
+    seed:
+        RNG seed for k-means.
+    """
+
+    def __init__(self, num_clusters: int, kmeans_restarts: int = 4, seed=None):
+        if num_clusters < 1:
+            raise ClusteringError(f"num_clusters must be >= 1, got {num_clusters}")
+        self.num_clusters = num_clusters
+        self.kmeans_restarts = kmeans_restarts
+        self.seed = seed
+
+    def fit(self, graph: MixedGraph) -> ClusteringResult:
+        """Cluster adjacency rows directly."""
+        embedding = row_normalize(graph.symmetrized_adjacency())
+        km = kmeans(
+            embedding,
+            self.num_clusters,
+            num_restarts=self.kmeans_restarts,
+            seed=self.seed,
+        )
+        return ClusteringResult(
+            labels=km.labels,
+            embedding=embedding,
+            kmeans=km,
+            method="adjacency-kmeans",
+        )

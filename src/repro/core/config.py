@@ -1,0 +1,99 @@
+"""Configuration for the quantum spectral clustering pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+BACKENDS = ("circuit", "analytic")
+EVOLUTIONS = ("exact", "trotter")
+
+
+@dataclass(frozen=True)
+class QSCConfig:
+    """All tunables of the quantum pipeline in one place.
+
+    Attributes
+    ----------
+    precision_bits:
+        QPE ancilla bits p — eigenvalues are resolved to λ_scale / 2^p.
+    shots:
+        Measurement budget per node for row tomography (0 = noiseless
+        readout, the asymptotic-shots limit).
+    histogram_shots:
+        Shots spent on the global eigenvalue histogram used to pick the
+        projection threshold.
+    backend:
+        ``"circuit"`` (full statevector QPE, n ≲ 64) or ``"analytic"``
+        (closed-form QPE statistics, scales to thousands of nodes).
+    evolution:
+        ``"exact"`` Hamiltonian exponential or ``"trotter"`` product
+        formula (circuit backend only).
+    trotter_steps / trotter_order:
+        Product-formula parameters when ``evolution="trotter"``.
+    theta:
+        Hermitian phase angle assigned to arcs.
+    normalization:
+        Laplacian normalization (the pipeline requires ``"symmetric"`` so
+        the spectrum is bounded by 2 and eigenphases fit in [0, 1)).
+    eigenvalue_threshold:
+        Explicit projection threshold ν; ``None`` selects it from the
+        sampled eigenvalue histogram (end-to-end quantum mode).
+    qmeans_delta:
+        Noise parameter δ of the q-means clustering step.
+    qmeans_iterations:
+        q-means iteration cap.
+    kmeans_restarts:
+        Independent q-means restarts.
+    seed:
+        Master seed; all stochastic stages derive their streams from it.
+    """
+
+    precision_bits: int = 6
+    shots: int = 2048
+    histogram_shots: int = 4096
+    backend: str = "analytic"
+    evolution: str = "exact"
+    trotter_steps: int = 4
+    trotter_order: int = 2
+    theta: float = float(np.pi / 2)
+    normalization: str = "symmetric"
+    eigenvalue_threshold: float | None = None
+    qmeans_delta: float = 0.05
+    qmeans_iterations: int = 30
+    kmeans_restarts: int = 4
+    seed: int | None = 7
+
+    def __post_init__(self):
+        if self.precision_bits < 1:
+            raise ClusteringError(
+                f"precision_bits must be >= 1, got {self.precision_bits}"
+            )
+        if self.shots < 0 or self.histogram_shots < 1:
+            raise ClusteringError("invalid shot budgets")
+        if self.backend not in BACKENDS:
+            raise ClusteringError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.evolution not in EVOLUTIONS:
+            raise ClusteringError(
+                f"evolution must be one of {EVOLUTIONS}, got {self.evolution!r}"
+            )
+        if self.normalization != "symmetric":
+            raise ClusteringError(
+                "the quantum pipeline requires the symmetric normalization "
+                "(bounded spectrum); baselines cover the others"
+            )
+        if self.trotter_steps < 1 or self.trotter_order not in (1, 2):
+            raise ClusteringError("invalid Trotter parameters")
+        if self.qmeans_delta < 0:
+            raise ClusteringError(f"qmeans_delta must be >= 0, got {self.qmeans_delta}")
+        if self.eigenvalue_threshold is not None and self.eigenvalue_threshold <= 0:
+            raise ClusteringError("eigenvalue_threshold must be positive")
+
+    def with_updates(self, **kwargs) -> "QSCConfig":
+        """A modified copy — convenient for parameter sweeps."""
+        return replace(self, **kwargs)

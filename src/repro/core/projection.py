@@ -1,0 +1,117 @@
+"""Low-eigenspace threshold selection from sampled QPE histograms.
+
+The pipeline must decide which QPE readouts y count as "low eigenvalue"
+without peeking at the exact spectrum.  :func:`select_threshold` does this
+from the *sampled* global eigenvalue histogram (QPE run on the uniform
+superposition over nodes, measured ``histogram_shots`` times): each of the
+n eigenvectors contributes ≈ shots/n counts concentrated near its
+eigenphase, so the k lowest eigenvalues account for the first ≈ k/n of the
+probability mass.  The threshold is placed in the widest empty gap after
+that mass is covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+
+@dataclass(frozen=True)
+class ThresholdSelection:
+    """Outcome of histogram-based threshold selection.
+
+    Attributes
+    ----------
+    threshold:
+        Eigenvalue cut-off ν: readouts with λ(y) <= ν are kept.
+    accepted_bins:
+        Readout integers classified as low.
+    histogram:
+        The counts the decision was made from (index = readout y).
+    """
+
+    threshold: float
+    accepted_bins: np.ndarray
+    histogram: np.ndarray
+
+
+def bin_value(outcome: int, precision_bits: int, lambda_scale: float) -> float:
+    """Convert a QPE readout integer to an eigenvalue estimate."""
+    return outcome / 2**precision_bits * lambda_scale
+
+
+def select_threshold(
+    histogram: np.ndarray,
+    num_clusters: int,
+    num_nodes: int,
+    precision_bits: int,
+    lambda_scale: float,
+) -> ThresholdSelection:
+    """Pick the projection threshold ν from a sampled eigenvalue histogram.
+
+    Parameters
+    ----------
+    histogram:
+        Counts per readout y (length 2^p).
+    num_clusters:
+        Target subspace dimension k.
+    num_nodes:
+        Number of graph nodes n (padding excluded) — sets the expected
+        mass per eigenvector.
+    precision_bits / lambda_scale:
+        Conversion from readout to eigenvalue.
+
+    Raises
+    ------
+    ClusteringError:
+        If the histogram is empty or k is infeasible.
+    """
+    histogram = np.asarray(histogram, dtype=float)
+    total = histogram.sum()
+    if total <= 0:
+        raise ClusteringError("empty eigenvalue histogram")
+    if not 1 <= num_clusters <= num_nodes:
+        raise ClusteringError(
+            f"num_clusters must be in [1, {num_nodes}], got {num_clusters}"
+        )
+    occupied = np.flatnonzero(histogram)
+    target_mass = (num_clusters - 0.5) / num_nodes * total
+    cumulative = 0.0
+    boundary_index = len(occupied) - 1
+    for position, outcome in enumerate(occupied):
+        cumulative += histogram[outcome]
+        if cumulative >= target_mass:
+            boundary_index = position
+            break
+    if boundary_index >= len(occupied) - 1:
+        # Everything sampled is "low" — accept all occupied bins; the
+        # threshold sits one bin above the highest occupied one.
+        last = occupied[-1]
+        threshold = bin_value(int(last) + 1, precision_bits, lambda_scale)
+        accepted = occupied
+    else:
+        low_bin = int(occupied[boundary_index])
+        high_bin = int(occupied[boundary_index + 1])
+        threshold = bin_value(
+            low_bin + (high_bin - low_bin) / 2.0, precision_bits, lambda_scale
+        )
+        accepted = occupied[: boundary_index + 1]
+    return ThresholdSelection(
+        threshold=float(threshold),
+        accepted_bins=np.asarray(accepted, dtype=int),
+        histogram=histogram,
+    )
+
+
+def accepted_outcomes(
+    threshold: float, precision_bits: int, lambda_scale: float
+) -> np.ndarray:
+    """All readout integers whose eigenvalue estimate is <= ``threshold``."""
+    if threshold <= 0:
+        raise ClusteringError(f"threshold must be positive, got {threshold}")
+    size = 2**precision_bits
+    values = np.arange(size) / size * lambda_scale
+    return np.flatnonzero(values <= threshold)

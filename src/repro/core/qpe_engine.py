@@ -1,0 +1,294 @@
+"""QPE engines: the quantum eigenvalue-filtering machinery.
+
+Both backends implement the same three-operation contract against a padded
+Hermitian Laplacian:
+
+* ``eigenvalue_histogram(shots, rng)`` — sampled QPE readout counts with the
+  maximally mixed node register as input (each shot starts from a uniformly
+  random node basis state), so every Laplacian eigenvector contributes equal
+  expected mass: the k lowest eigenvalues own the first ≈ k/n of the
+  histogram, which is what threshold selection relies on.
+* ``project_row(i, accepted, rng)`` — the normalized filtered state
+  Π_A |e_i> (A = accepted readout set) and its true acceptance probability.
+* ``lambda_scale`` — the eigenvalue-to-phase scaling, φ = λ / λ_scale.
+
+``CircuitQPEBackend`` realises the filter at gate level: run the QPE
+circuit, zero the amplitudes of rejected ancilla readouts (the projective
+measurement amplitude amplification post-selects on), and run the inverse
+QPE circuit to uncompute the ancillas.  ``AnalyticQPEBackend`` computes the
+identical statistics from the eigendecomposition and the closed-form QPE
+response kernel — same output distribution, no 2^(m+p) state (see the
+substitution table in DESIGN.md).  Their agreement is property-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.quantum.hamiltonian import (
+    SpectralDecomposition,
+    trotter_evolution,
+)
+from repro.quantum.phase_estimation import (
+    qpe_circuit,
+    qpe_outcome_distribution,
+)
+from repro.quantum.statevector import Statevector
+from repro.utils.linalg import next_power_of_two
+
+# Padded diagonal entries sit at the very top of the normalized spectrum so
+# the low-eigenvalue filter always rejects them.
+PAD_EIGENVALUE = 2.0
+# Eigenphases must stay strictly below 1; the scale leaves a small guard band
+# above the spectral bound 2 of the symmetric normalized Laplacian.
+LAMBDA_SCALE = 2.125
+
+
+def pad_laplacian(laplacian: np.ndarray) -> np.ndarray:
+    """Embed an n × n Laplacian into the next power-of-two dimension.
+
+    Padded rows are decoupled (block diagonal) with eigenvalue
+    :data:`PAD_EIGENVALUE`, i.e. top-of-spectrum — they can never leak into
+    the low-eigenvalue cluster subspace.
+    """
+    laplacian = np.asarray(laplacian, dtype=complex)
+    n = laplacian.shape[0]
+    dim = next_power_of_two(max(n, 2))
+    if dim == n:
+        return laplacian.copy()
+    padded = np.zeros((dim, dim), dtype=complex)
+    padded[:n, :n] = laplacian
+    for extra in range(n, dim):
+        padded[extra, extra] = PAD_EIGENVALUE
+    return padded
+
+
+class AnalyticQPEBackend:
+    """Closed-form QPE statistics from the eigendecomposition.
+
+    Parameters
+    ----------
+    laplacian:
+        The (unpadded) Hermitian Laplacian of the graph.
+    precision_bits:
+        QPE ancilla bits p.
+
+    Notes
+    -----
+    The eigendecomposition here plays the role of the quantum computer,
+    not of a classical shortcut: every quantity exposed is exactly the
+    measurement statistics the circuit backend produces, and nothing else
+    (cross-validated in tests/core/test_qpe_engine.py).
+    """
+
+    name = "analytic"
+
+    def __init__(self, laplacian: np.ndarray, precision_bits: int):
+        if precision_bits < 1:
+            raise ClusteringError(
+                f"precision_bits must be >= 1, got {precision_bits}"
+            )
+        self.num_nodes = laplacian.shape[0]
+        self.precision_bits = precision_bits
+        self.lambda_scale = LAMBDA_SCALE
+        padded = pad_laplacian(laplacian)
+        self.dim = padded.shape[0]
+        decomposition = SpectralDecomposition.of(padded)
+        self._eigenvalues = decomposition.eigenvalues
+        self._eigenvectors = decomposition.eigenvectors
+        phases = self._eigenvalues / self.lambda_scale
+        if phases.max() >= 1.0 or phases.min() < -1e-9:
+            raise ClusteringError(
+                "Laplacian spectrum exceeds the QPE phase window; use the "
+                "symmetric normalization"
+            )
+        # kernel[j, y] = Pr[readout y | eigenvector j]
+        self._kernel = np.vstack(
+            [
+                qpe_outcome_distribution(phase, precision_bits)
+                for phase in phases
+            ]
+        )
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """The padded Laplacian spectrum (read-only copy, ascending)."""
+        return self._eigenvalues.copy()
+
+    def component_acceptance(self, accepted: np.ndarray) -> np.ndarray:
+        """q_j = probability that eigencomponent j passes the readout filter.
+
+        This is the per-eigenvector attenuation of the eigenvalue filter;
+        experiments use it to quantify bulk leakage versus precision.
+        """
+        accepted = np.asarray(accepted, dtype=int)
+        return self._kernel[:, accepted].sum(axis=1)
+
+    def quantization_errors(self) -> np.ndarray:
+        """|λ̂_j − λ_j| where λ̂_j is the modal QPE readout of component j."""
+        modal_bins = self._kernel.argmax(axis=1)
+        estimates = modal_bins / 2**self.precision_bits * self.lambda_scale
+        return np.abs(estimates - self._eigenvalues)
+
+    def node_outcome_distribution(self, node: int) -> np.ndarray:
+        """Exact QPE readout distribution when the input is |e_node>."""
+        if not 0 <= node < self.num_nodes:
+            raise ClusteringError(f"node {node} out of range")
+        weights = np.abs(self._eigenvectors[node, :]) ** 2
+        return weights @ self._kernel
+
+    def eigenvalue_histogram(self, shots: int, rng) -> np.ndarray:
+        """Sampled readout histogram with maximally mixed node input."""
+        if shots < 1:
+            raise ClusteringError(f"shots must be >= 1, got {shots}")
+        mixture = np.zeros(2**self.precision_bits)
+        for node in range(self.num_nodes):
+            mixture += self.node_outcome_distribution(node)
+        mixture /= self.num_nodes
+        return rng.multinomial(shots, mixture).astype(float)
+
+    def project_row(
+        self, node: int, accepted: np.ndarray, rng=None
+    ) -> tuple[np.ndarray, float]:
+        """Filtered state Π_A|e_node> (normalized) and acceptance probability.
+
+        Each eigencomponent j survives the readout filter with amplitude
+        sqrt(q_j), q_j = Σ_{y∈A} kernel[j, y] — the coherent attenuation
+        amplitude amplification applies after post-selection.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ClusteringError(f"node {node} out of range")
+        accepted = np.asarray(accepted, dtype=int)
+        acceptance = self._kernel[:, accepted].sum(axis=1)
+        # |e_i> = Σ_j conj(V[i, j]) |u_j>
+        coefficients = self._eigenvectors[node, :].conj() * np.sqrt(acceptance)
+        filtered = self._eigenvectors @ coefficients
+        probability = float(np.sum(np.abs(coefficients) ** 2))
+        if probability < 1e-15:
+            return np.zeros(self.dim, dtype=complex), 0.0
+        return filtered / np.linalg.norm(filtered), probability
+
+
+class CircuitQPEBackend:
+    """Gate-level QPE filtering on the statevector simulator.
+
+    Parameters
+    ----------
+    laplacian:
+        The (unpadded) Hermitian Laplacian.
+    precision_bits:
+        QPE ancilla bits p.
+    evolution:
+        ``"exact"`` for the eigendecomposed exponential (oracle
+        substitution), ``"trotter"`` for a product-formula unitary.
+    trotter_steps / trotter_order:
+        Product-formula parameters.
+
+    Notes
+    -----
+    Memory is O(2^(m+p)); keep n·2^p below ~2^20.
+    """
+
+    name = "circuit"
+
+    def __init__(
+        self,
+        laplacian: np.ndarray,
+        precision_bits: int,
+        evolution: str = "exact",
+        trotter_steps: int = 4,
+        trotter_order: int = 2,
+    ):
+        if precision_bits < 1:
+            raise ClusteringError(
+                f"precision_bits must be >= 1, got {precision_bits}"
+            )
+        self.num_nodes = laplacian.shape[0]
+        self.precision_bits = precision_bits
+        self.lambda_scale = LAMBDA_SCALE
+        padded = pad_laplacian(laplacian)
+        self.dim = padded.shape[0]
+        time = 2.0 * np.pi / self.lambda_scale
+        if evolution == "exact":
+            unitary = SpectralDecomposition.of(padded).evolution(time)
+        elif evolution == "trotter":
+            unitary = trotter_evolution(
+                padded, time, steps=trotter_steps, order=trotter_order
+            )
+        else:
+            raise ClusteringError(f"unknown evolution {evolution!r}")
+        self._circuit = qpe_circuit(unitary, precision_bits)
+        self._inverse_circuit = self._circuit.inverse()
+
+    def _run_forward(self, input_state: np.ndarray) -> np.ndarray:
+        total_dim = 2**self._circuit.num_qubits
+        joint = np.zeros(total_dim, dtype=complex)
+        joint[: self.dim] = input_state
+        return self._circuit.run(Statevector(joint)).amplitudes
+
+    def node_outcome_distribution(self, node: int) -> np.ndarray:
+        """Exact QPE readout distribution when the input is |e_node>."""
+        if not 0 <= node < self.num_nodes:
+            raise ClusteringError(f"node {node} out of range")
+        basis = np.zeros(self.dim, dtype=complex)
+        basis[node] = 1.0
+        table = self._run_forward(basis).reshape(
+            2**self.precision_bits, self.dim
+        )
+        return (np.abs(table) ** 2).sum(axis=1)
+
+    def eigenvalue_histogram(self, shots: int, rng) -> np.ndarray:
+        """Sampled readout histogram with maximally mixed node input."""
+        if shots < 1:
+            raise ClusteringError(f"shots must be >= 1, got {shots}")
+        mixture = np.zeros(2**self.precision_bits)
+        for node in range(self.num_nodes):
+            mixture += self.node_outcome_distribution(node)
+        mixture /= self.num_nodes
+        return rng.multinomial(shots, mixture).astype(float)
+
+    def project_row(
+        self, node: int, accepted: np.ndarray, rng=None
+    ) -> tuple[np.ndarray, float]:
+        """Gate-level eigenvalue filter: QPE → readout projector → QPE†.
+
+        The ancilla register is uncomputed by the inverse circuit; the
+        system block with ancilla = |0...0> carries the filtered state
+        (residual amplitude on other ancilla values is QPE leakage and is
+        discarded by the final post-selection, exactly as on hardware).
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ClusteringError(f"node {node} out of range")
+        accepted = np.asarray(accepted, dtype=int)
+        basis = np.zeros(self.dim, dtype=complex)
+        basis[node] = 1.0
+        joint = self._run_forward(basis)
+        table = joint.reshape(2**self.precision_bits, self.dim)
+        mask = np.zeros(2**self.precision_bits, dtype=bool)
+        mask[accepted] = True
+        table[~mask, :] = 0.0
+        accept_probability = float(np.sum(np.abs(table) ** 2))
+        if accept_probability < 1e-15:
+            return np.zeros(self.dim, dtype=complex), 0.0
+        normalized = table.ravel() / np.sqrt(accept_probability)
+        uncomputed = self._inverse_circuit.run(Statevector(normalized)).amplitudes
+        system_block = uncomputed.reshape(2**self.precision_bits, self.dim)[0]
+        block_mass = float(np.sum(np.abs(system_block) ** 2))
+        probability = accept_probability * block_mass
+        if probability < 1e-15:
+            return np.zeros(self.dim, dtype=complex), 0.0
+        return system_block / np.sqrt(block_mass), probability
+
+
+def make_backend(laplacian: np.ndarray, config) -> object:
+    """Instantiate the backend requested by a :class:`QSCConfig`."""
+    if config.backend == "analytic":
+        return AnalyticQPEBackend(laplacian, config.precision_bits)
+    return CircuitQPEBackend(
+        laplacian,
+        config.precision_bits,
+        evolution=config.evolution,
+        trotter_steps=config.trotter_steps,
+        trotter_order=config.trotter_order,
+    )

@@ -1,0 +1,193 @@
+"""End-to-end quantum spectral clustering of mixed graphs.
+
+:class:`QuantumSpectralClustering` chains the full pipeline of the paper:
+
+1. Hermitian Laplacian 𝓛(θ) of the mixed graph (symmetric normalization,
+   spectrum ⊂ [0, 2]), padded to 2^m dimension;
+2. QPE eigenvalue histogram on the maximally mixed node register →
+   projection threshold ν (no classical eigensolve involved);
+3. per node i: eigenvalue filtering of |e_i> (QPE → post-selection on
+   readouts ≤ ν → uncompute), amplitude estimation of the acceptance
+   probability, and finite-shot tomography of the filtered state —
+   yielding a noisy reconstruction of row i of the subspace projector Π_k;
+4. q-means (δ-noisy k-means) on the real feature map of those rows.
+
+Row i of Π_k = U_k U_k† is the isometric image of the classical spectral
+embedding row, so with exact arithmetic this reproduces classical Hermitian
+spectral clustering — the quantum noise sources (quantization, shots, δ)
+are exactly what the experiments sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.autok import estimate_num_clusters_quantum
+from repro.core.config import QSCConfig
+from repro.core.projection import accepted_outcomes, select_threshold
+from repro.core.qmeans import qmeans
+from repro.core.qpe_engine import make_backend
+from repro.core.result import QSCResult
+from repro.exceptions import ClusteringError
+from repro.graphs.hermitian import hermitian_laplacian
+from repro.graphs.mixed_graph import MixedGraph
+from repro.quantum.measurement import tomography_estimate
+from repro.spectral.embedding import complex_to_real_features, row_normalize
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class QuantumSpectralClustering:
+    """The paper's algorithm as a scikit-learn-style estimator.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters k, or ``"auto"`` to select k from the sampled
+        QPE eigenvalue histogram (quantum eigengap rule — see
+        ``repro.core.autok`` and experiment A4).
+    config:
+        Pipeline tunables; ``None`` uses :class:`QSCConfig` defaults.
+
+    Examples
+    --------
+    >>> from repro.graphs import cyclic_flow_sbm
+    >>> graph, truth = cyclic_flow_sbm(48, 3, seed=1)
+    >>> result = QuantumSpectralClustering(3).fit(graph)
+    >>> result.labels.shape
+    (48,)
+    """
+
+    def __init__(self, num_clusters, config: QSCConfig | None = None):
+        if num_clusters == "auto":
+            self.num_clusters = "auto"
+        else:
+            if int(num_clusters) < 1:
+                raise ClusteringError(
+                    f"num_clusters must be >= 1 or 'auto', got {num_clusters}"
+                )
+            self.num_clusters = int(num_clusters)
+        self.config = config or QSCConfig()
+
+    def fit(self, graph: MixedGraph) -> QSCResult:
+        """Run the full quantum pipeline on ``graph``.
+
+        With ``num_clusters="auto"`` the cluster count is selected from the
+        sampled QPE histogram by the quantum eigengap rule
+        (:func:`repro.core.autok.estimate_num_clusters_quantum`) before the
+        projection step — model selection stays end-to-end quantum.
+        """
+        cfg = self.config
+        if self.num_clusters != "auto" and self.num_clusters > graph.num_nodes:
+            raise ClusteringError(
+                f"cannot form {self.num_clusters} clusters from "
+                f"{graph.num_nodes} nodes"
+            )
+        master = ensure_rng(cfg.seed)
+        rng_histogram, rng_rows, rng_qmeans = spawn_rngs(master, 3)
+        laplacian = hermitian_laplacian(
+            graph, theta=cfg.theta, normalization=cfg.normalization
+        )
+        backend = make_backend(laplacian, cfg)
+
+        histogram = backend.eigenvalue_histogram(cfg.histogram_shots, rng_histogram)
+        if self.num_clusters == "auto":
+            if graph.num_nodes < 4:
+                raise ClusteringError(
+                    "auto cluster selection needs at least four nodes"
+                )
+            num_clusters = estimate_num_clusters_quantum(
+                histogram,
+                graph.num_nodes,
+                cfg.precision_bits,
+                backend.lambda_scale,
+            ).num_clusters
+        else:
+            num_clusters = self.num_clusters
+        if cfg.eigenvalue_threshold is not None:
+            threshold = float(cfg.eigenvalue_threshold)
+            accepted = accepted_outcomes(
+                threshold, cfg.precision_bits, backend.lambda_scale
+            )
+        else:
+            selection = select_threshold(
+                histogram,
+                num_clusters,
+                graph.num_nodes,
+                cfg.precision_bits,
+                backend.lambda_scale,
+            )
+            threshold = selection.threshold
+            # Accept every readout below the threshold, not only the bins
+            # that happened to receive histogram counts — non-dyadic
+            # eigenphases spread QPE mass into neighbouring bins and those
+            # tails belong to the subspace too.
+            accepted = accepted_outcomes(
+                threshold, cfg.precision_bits, backend.lambda_scale
+            )
+        if accepted.size == 0:
+            raise ClusteringError(
+                "eigenvalue filter accepted no QPE readouts; increase "
+                "precision_bits or the threshold"
+            )
+
+        n = graph.num_nodes
+        rows = np.zeros((n, backend.dim), dtype=complex)
+        norms = np.zeros(n)
+        row_rngs = spawn_rngs(rng_rows, n)
+        for node in range(n):
+            filtered, probability = backend.project_row(
+                node, accepted, row_rngs[node]
+            )
+            if probability <= 0.0:
+                continue  # row has no mass in the subspace — stays zero
+            estimated_state = tomography_estimate(
+                filtered, cfg.shots, seed=row_rngs[node]
+            )
+            # Amplitude estimation of the acceptance probability: binomial
+            # shot noise at the same budget (exact when shots = 0).
+            if cfg.shots > 0:
+                successes = row_rngs[node].binomial(cfg.shots, min(probability, 1.0))
+                estimated_probability = successes / cfg.shots
+            else:
+                estimated_probability = probability
+            rows[node] = np.sqrt(estimated_probability) * estimated_state
+            norms[node] = np.sqrt(estimated_probability)
+
+        # Tomography fixes each row only up to a global phase.  Row i of the
+        # projector Π_A has a *canonical* phase: its diagonal component
+        # Π[i, i] = ||Π_A e_i||² is real and non-negative, so rotating the
+        # estimate until component i is real-positive recovers the true
+        # relative phases across rows (up to shot noise).
+        for node in range(n):
+            anchor = rows[node][node]
+            magnitude = abs(anchor)
+            if magnitude > 1e-12:
+                rows[node] = rows[node] * np.conj(anchor / magnitude)
+
+        features = complex_to_real_features(rows[:, :n])
+        features = row_normalize(features)
+        km = qmeans(
+            features,
+            num_clusters,
+            delta=cfg.qmeans_delta,
+            max_iterations=cfg.qmeans_iterations,
+            num_restarts=cfg.kmeans_restarts,
+            seed=rng_qmeans,
+        )
+        return QSCResult(
+            labels=km.labels,
+            embedding=features,
+            row_norms=norms,
+            eigenvalue_histogram=histogram,
+            threshold=threshold,
+            accepted_bins=np.asarray(accepted, dtype=int),
+            qmeans=km,
+            backend_name=backend.name,
+        )
+
+
+def quantum_spectral_clustering(
+    graph: MixedGraph, num_clusters: int, config: QSCConfig | None = None
+) -> np.ndarray:
+    """Functional one-shot wrapper returning only the labels."""
+    return QuantumSpectralClustering(num_clusters, config).fit(graph).labels

@@ -1,0 +1,59 @@
+"""Result record of the end-to-end quantum pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spectral.kmeans import KMeansResult
+
+
+@dataclass(frozen=True)
+class QSCResult:
+    """Everything the quantum spectral clustering run produced.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per node (the clustering answer).
+    embedding:
+        Real feature matrix the q-means step clustered (n × 2n: the
+        tomography reconstruction of each filtered row, scaled by its
+        estimated norm, split into real and imaginary parts).
+    row_norms:
+        Estimated norm ||Π_A e_i|| per node (amplitude-estimation output).
+    eigenvalue_histogram:
+        Sampled QPE histogram the threshold was selected from.
+    threshold:
+        Eigenvalue cut-off ν actually used.
+    accepted_bins:
+        QPE readout integers classified as low.
+    qmeans:
+        The underlying q-means result.
+    backend_name:
+        Which QPE backend produced the rows.
+    method:
+        Method tag for experiment tables.
+    """
+
+    labels: np.ndarray
+    embedding: np.ndarray
+    row_norms: np.ndarray
+    eigenvalue_histogram: np.ndarray
+    threshold: float
+    accepted_bins: np.ndarray
+    qmeans: KMeansResult
+    backend_name: str
+    method: str = field(default="quantum-hermitian")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of clustered nodes."""
+        return int(self.labels.size)
+
+    @property
+    def subspace_mass(self) -> float:
+        """Mean acceptance probability — how much amplitude survived the
+        eigenvalue filter (≈ k/n for a well-separated spectrum)."""
+        return float(np.mean(self.row_norms**2))

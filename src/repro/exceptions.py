@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with one ``except`` clause while
+still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid mixed-graph structure or graph-construction parameters."""
+
+
+class CircuitError(ReproError):
+    """Invalid quantum-circuit construction or simulation request."""
+
+
+class QubitError(CircuitError):
+    """A qubit index is out of range or duplicated within one operation."""
+
+
+class EncodingError(ReproError):
+    """Data cannot be encoded into the requested quantum representation."""
+
+
+class ClusteringError(ReproError):
+    """Clustering cannot proceed (e.g. fewer points than clusters)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver exhausted its iteration budget without converging."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""
+
+
+class ParseError(ReproError):
+    """A netlist or edge-list file could not be parsed."""

@@ -1,0 +1,53 @@
+"""Experiment harness: one module per reconstructed table/figure.
+
+==========  =============================================================
+Experiment  Module
+==========  =============================================================
+T1          ``repro.experiments.table1_msbm``
+T2          ``repro.experiments.table2_netlist``
+F1          ``repro.experiments.fig1_direction_sweep``
+F2          ``repro.experiments.fig2_precision_sweep``
+F3          ``repro.experiments.fig3_runtime_scaling``
+F4          ``repro.experiments.fig4_shots_sweep``
+A1–A3       ``repro.experiments.ablations``
+==========  =============================================================
+
+Each module has ``run(...)`` (structured records), a renderer
+(``table``/``series``), and ``main()`` which prints the markdown quoted in
+EXPERIMENTS.md.  The matching pytest-benchmark targets live in
+``benchmarks/``.
+"""
+
+from repro.experiments import (
+    ablations,
+    common,
+    fig1_direction_sweep,
+    fig2_precision_sweep,
+    fig3_runtime_scaling,
+    fig4_shots_sweep,
+    table1_msbm,
+    table2_netlist,
+)
+from repro.experiments.common import (
+    TrialRecord,
+    aggregate,
+    evaluate_methods,
+    render_markdown_table,
+    standard_methods,
+)
+
+__all__ = [
+    "ablations",
+    "common",
+    "fig1_direction_sweep",
+    "fig2_precision_sweep",
+    "fig3_runtime_scaling",
+    "fig4_shots_sweep",
+    "table1_msbm",
+    "table2_netlist",
+    "TrialRecord",
+    "aggregate",
+    "evaluate_methods",
+    "render_markdown_table",
+    "standard_methods",
+]

@@ -1,0 +1,148 @@
+"""Experiment F2 — QPE precision: quantization error, leakage, accuracy.
+
+Sweeps the ancilla count p and reports three quantities per point:
+
+* ``eig_rmse`` — RMS eigenvalue quantization error, which halves per added
+  bit (the ε_λ precision parameter of the theory);
+* ``bulk_leakage`` — mean filter-acceptance probability of *bulk* (above
+  the spectral gap) eigencomponents: the amplitude contamination of the
+  cluster subspace, which falls with p as the QPE kernel sharpens;
+* ``ari`` — end-to-end clustering quality.
+
+Expected shape: error and leakage decay geometrically in p; ARI is already
+near-perfect once leakage is below ~10% — the algorithm only needs the
+filter to *separate* low from bulk, not to resolve eigenvalues finely (an
+explicit robustness finding recorded in EXPERIMENTS.md).  A circuit-backend
+cross-check runs at small n for gate-level confirmation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import QSCConfig, QuantumSpectralClustering
+from repro.core.qpe_engine import AnalyticQPEBackend
+from repro.core.projection import accepted_outcomes
+from repro.experiments.common import TrialRecord, aggregate, render_markdown_table
+from repro.graphs import ensure_connected, hermitian_laplacian, mixed_sbm
+from repro.metrics import adjusted_rand_index, matched_accuracy
+
+DEFAULT_PRECISIONS = (1, 2, 3, 4, 5, 6, 7, 8)
+DEFAULT_TRIALS = 5
+
+
+def _filter_diagnostics(graph, num_clusters, precision, threshold):
+    """(eig_rmse, bulk_leakage) of the eigenvalue filter at this precision."""
+    laplacian = hermitian_laplacian(graph)
+    backend = AnalyticQPEBackend(laplacian, precision)
+    accepted = accepted_outcomes(threshold, precision, backend.lambda_scale)
+    acceptance = backend.component_acceptance(accepted)
+    true_values = backend.eigenvalues
+    # "low" = the k smallest true eigenvalues of the padded spectrum
+    order = np.argsort(true_values)
+    bulk = order[num_clusters:]
+    rmse = float(np.sqrt(np.mean(backend.quantization_errors() ** 2)))
+    leakage = float(acceptance[bulk].mean())
+    return rmse, leakage
+
+
+def run(
+    precisions=DEFAULT_PRECISIONS,
+    num_nodes: int = 48,
+    num_clusters: int = 2,
+    trials: int = DEFAULT_TRIALS,
+    shots: int = 1024,
+    base_seed: int = 700,
+    include_circuit: bool = False,
+    circuit_num_nodes: int = 12,
+) -> list[TrialRecord]:
+    """Run the F2 precision sweep (analytic backend, optional circuit runs)."""
+    records = []
+    for precision in precisions:
+        for trial in range(trials):
+            seed = base_seed + 31 * trial + precision
+            graph, truth = mixed_sbm(
+                num_nodes, num_clusters, p_intra=0.4, p_inter=0.05, seed=seed
+            )
+            ensure_connected(graph, seed=seed)
+            config = QSCConfig(
+                precision_bits=precision, shots=shots, seed=seed
+            )
+            result = QuantumSpectralClustering(num_clusters, config).fit(graph)
+            rmse, leakage = _filter_diagnostics(
+                graph, num_clusters, precision, result.threshold
+            )
+            records.append(
+                TrialRecord(
+                    experiment="F2",
+                    method="quantum-analytic",
+                    parameters={"p": precision},
+                    seed=seed,
+                    ari=adjusted_rand_index(truth, result.labels),
+                    accuracy=matched_accuracy(truth, result.labels),
+                    extra={"eig_rmse": rmse, "bulk_leakage": leakage},
+                )
+            )
+            if include_circuit and precision <= 6:
+                small_graph, small_truth = mixed_sbm(
+                    circuit_num_nodes,
+                    num_clusters,
+                    p_intra=0.7,
+                    p_inter=0.05,
+                    seed=seed,
+                )
+                ensure_connected(small_graph, seed=seed)
+                circuit_config = QSCConfig(
+                    backend="circuit",
+                    precision_bits=precision,
+                    shots=shots,
+                    seed=seed,
+                )
+                circuit_labels = (
+                    QuantumSpectralClustering(num_clusters, circuit_config)
+                    .fit(small_graph)
+                    .labels
+                )
+                records.append(
+                    TrialRecord(
+                        experiment="F2",
+                        method="quantum-circuit",
+                        parameters={"p": precision},
+                        seed=seed,
+                        ari=adjusted_rand_index(small_truth, circuit_labels),
+                        accuracy=matched_accuracy(small_truth, circuit_labels),
+                    )
+                )
+    return records
+
+
+def series(records: list[TrialRecord]) -> str:
+    """Markdown rendering of the F2 curves (error, leakage, ARI vs p)."""
+    rows = aggregate(records, ("p",))
+    diagnostics: dict[tuple, list] = {}
+    for record in records:
+        if "eig_rmse" in record.extra:
+            key = (record.method, record.parameters["p"])
+            diagnostics.setdefault(key, []).append(record.extra)
+    for row in rows:
+        bucket = diagnostics.get((row["method"], row["p"]))
+        if bucket:
+            row["eig_rmse"] = float(np.mean([d["eig_rmse"] for d in bucket]))
+            row["bulk_leakage"] = float(
+                np.mean([d["bulk_leakage"] for d in bucket])
+            )
+    return render_markdown_table(
+        rows,
+        ["p", "method", "trials", "ari_mean", "ari_std", "eig_rmse", "bulk_leakage"],
+    )
+
+
+def main() -> str:
+    """Run with defaults (including circuit cross-check) and print."""
+    output = series(run(include_circuit=True))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

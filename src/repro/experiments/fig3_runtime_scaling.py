@@ -1,0 +1,99 @@
+"""Experiment F3 — runtime scaling: quantum step proxy vs classical O(n³).
+
+For a sweep of graph sizes, measures the classical eigensolvers (dense
+LAPACK and our Lanczos) and evaluates the modeled quantum step count (see
+``repro.quantum.resources``).  The quantities of interest are the *fitted
+growth exponents*: ≈3 for dense classical clustering, ≈1 for the
+edge-dominated quantum proxy on sparse graphs — reproducing the paper's
+"linear versus cubic" figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.runtime_model import RuntimeSample, fitted_exponent, profile_graph
+from repro.graphs import ensure_connected, mixed_sbm
+
+DEFAULT_SIZES = (64, 128, 256, 512, 1024)
+
+
+def run(
+    sizes=DEFAULT_SIZES,
+    num_clusters: int = 2,
+    average_degree: float = 8.0,
+    precision_bits: int = 6,
+    shots: int = 256,
+    base_seed: int = 900,
+) -> list[RuntimeSample]:
+    """Profile one sparse mixed SBM per size (constant average degree)."""
+    samples = []
+    for num_nodes in sizes:
+        # keep the average degree constant so edges grow linearly with n
+        p_intra = min(1.0, 2.0 * average_degree / num_nodes)
+        graph, _ = mixed_sbm(
+            num_nodes,
+            num_clusters,
+            p_intra=p_intra,
+            p_inter=p_intra / 8.0,
+            seed=base_seed + num_nodes,
+        )
+        ensure_connected(graph, seed=base_seed)
+        samples.append(
+            profile_graph(
+                graph,
+                num_clusters,
+                precision_bits=precision_bits,
+                shots=shots,
+            )
+        )
+    return samples
+
+
+def exponents(samples: list[RuntimeSample]) -> dict[str, float]:
+    """Fitted log-log growth exponents of each runtime series."""
+    sizes = [s.num_nodes for s in samples]
+    return {
+        "quantum_steps": fitted_exponent(sizes, [s.quantum_steps for s in samples]),
+        "classical_steps": fitted_exponent(
+            sizes, [s.classical_steps for s in samples]
+        ),
+        "dense_seconds": fitted_exponent(
+            sizes, [s.dense_seconds for s in samples]
+        ),
+    }
+
+
+def series(samples: list[RuntimeSample]) -> str:
+    """Markdown rendering of the F3 scaling rows plus fitted exponents."""
+    lines = [
+        "| n | edges | quantum_steps | classical_steps | dense_s | lanczos_s |",
+        "|---|---|---|---|---|---|",
+    ]
+    for sample in samples:
+        row = asdict(sample)
+        lines.append(
+            "| {num_nodes} | {num_edges} | {quantum_steps:.3e} | "
+            "{classical_steps:.3e} | {dense_seconds:.4f} | "
+            "{lanczos_seconds:.4f} |".format(**row)
+        )
+    fits = exponents(samples)
+    lines.append("")
+    lines.append(
+        "fitted exponents: "
+        + ", ".join(f"{key}≈n^{value:.2f}" for key, value in fits.items())
+    )
+    return "\n".join(lines)
+
+
+def main() -> str:
+    """Run with defaults and return the rendered series."""
+    output = series(run())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Plain-text edge-list I/O for mixed graphs.
+
+Format (one connection per line, ``#`` comments allowed)::
+
+    n 6                # header: node count
+    e 0 1 1.0          # undirected edge u v weight
+    a 1 2 2.5          # directed arc source target weight
+
+The format round-trips exactly (property-tested) and is convenient for
+shipping experiment inputs between machines.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ParseError
+from repro.graphs.mixed_graph import MixedGraph
+
+
+def dumps(graph: MixedGraph) -> str:
+    """Serialize a mixed graph to edge-list text."""
+    lines = [f"n {graph.num_nodes}"]
+    for edge in graph.edges():
+        tag = "a" if edge.directed else "e"
+        lines.append(f"{tag} {edge.u} {edge.v} {edge.weight!r}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> MixedGraph:
+    """Parse edge-list text back into a :class:`MixedGraph`."""
+    graph: MixedGraph | None = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        tag = fields[0].lower()
+        try:
+            if tag == "n":
+                if graph is not None:
+                    raise ParseError(f"line {line_number}: duplicate header")
+                graph = MixedGraph(int(fields[1]))
+            elif tag in ("e", "a"):
+                if graph is None:
+                    raise ParseError(
+                        f"line {line_number}: connection before 'n' header"
+                    )
+                u, v = int(fields[1]), int(fields[2])
+                weight = float(fields[3]) if len(fields) > 3 else 1.0
+                if tag == "e":
+                    graph.add_edge(u, v, weight)
+                else:
+                    graph.add_arc(u, v, weight)
+            else:
+                raise ParseError(f"line {line_number}: unknown tag {tag!r}")
+        except (ValueError, IndexError) as exc:
+            raise ParseError(f"line {line_number}: malformed line {raw!r}") from exc
+    if graph is None:
+        raise ParseError("no 'n <count>' header found")
+    return graph
+
+
+def save(graph: MixedGraph, path: str | os.PathLike) -> None:
+    """Write a mixed graph to ``path`` in edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(graph))
+
+
+def load(path: str | os.PathLike) -> MixedGraph:
+    """Read a mixed graph from an edge-list file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

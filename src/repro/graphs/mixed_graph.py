@@ -1,0 +1,292 @@
+"""The :class:`MixedGraph` container.
+
+A mixed graph has a set of nodes, *undirected* weighted edges, and
+*directed* weighted arcs.  It is the single input type of every clustering
+algorithm in this library.  Nodes are integers 0..n−1; labels can be
+attached for netlist provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import GraphError
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One weighted connection; ``directed`` distinguishes arcs from edges."""
+
+    u: int
+    v: int
+    weight: float = 1.0
+    directed: bool = False
+
+    def __post_init__(self):
+        if self.u == self.v:
+            raise GraphError(f"self-loop on node {self.u} is not allowed")
+        if self.weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {self.weight}")
+
+
+class MixedGraph:
+    """A graph with both undirected edges and directed arcs.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; nodes are the integers ``0..num_nodes-1``.
+    node_labels:
+        Optional human-readable labels (e.g. gate names from a netlist).
+
+    Examples
+    --------
+    >>> g = MixedGraph(3)
+    >>> g.add_edge(0, 1)            # undirected
+    >>> g.add_arc(1, 2, weight=2.0) # directed 1 -> 2
+    >>> g.num_edges, g.num_arcs
+    (1, 1)
+    """
+
+    def __init__(self, num_nodes: int, node_labels=None):
+        if num_nodes < 1:
+            raise GraphError(f"graph needs at least one node, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._undirected: dict[tuple[int, int], float] = {}
+        self._directed: dict[tuple[int, int], float] = {}
+        if node_labels is not None:
+            node_labels = list(node_labels)
+            if len(node_labels) != num_nodes:
+                raise GraphError(
+                    f"{len(node_labels)} labels supplied for {num_nodes} nodes"
+                )
+        self._node_labels = node_labels
+
+    # -- construction --------------------------------------------------------
+
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self._num_nodes:
+            raise GraphError(
+                f"node {node} out of range for graph with {self._num_nodes} nodes"
+            )
+        return node
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or overwrite) an undirected edge {u, v}."""
+        u, v = self._check_node(u), self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        key = (min(u, v), max(u, v))
+        if (u, v) in self._directed or (v, u) in self._directed:
+            raise GraphError(
+                f"nodes {u},{v} already share an arc; remove it first"
+            )
+        self._undirected[key] = float(weight)
+
+    def add_arc(self, source: int, target: int, weight: float = 1.0) -> None:
+        """Add (or overwrite) a directed arc source → target."""
+        source, target = self._check_node(source), self._check_node(target)
+        if source == target:
+            raise GraphError(f"self-loop on node {source} is not allowed")
+        if weight <= 0:
+            raise GraphError(f"arc weight must be positive, got {weight}")
+        key = (min(source, target), max(source, target))
+        if key in self._undirected:
+            raise GraphError(
+                f"nodes {source},{target} already share an undirected edge"
+            )
+        if (target, source) in self._directed:
+            # Antiparallel arcs merge into an undirected edge by convention:
+            # flow in both directions carries no net orientation signal.
+            weight_back = self._directed.pop((target, source))
+            self._undirected[key] = float(weight) + weight_back
+            return
+        self._directed[(source, target)] = float(weight)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes n."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._undirected)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs."""
+        return len(self._directed)
+
+    @property
+    def node_labels(self) -> list[str] | None:
+        """Optional node labels (copied)."""
+        return None if self._node_labels is None else list(self._node_labels)
+
+    def edges(self) -> list[Edge]:
+        """All connections, undirected first, in deterministic order."""
+        und = [
+            Edge(u, v, w, directed=False)
+            for (u, v), w in sorted(self._undirected.items())
+        ]
+        dirs = [
+            Edge(u, v, w, directed=True)
+            for (u, v), w in sorted(self._directed.items())
+        ]
+        return und + dirs
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if an undirected edge joins u and v."""
+        u, v = self._check_node(u), self._check_node(v)
+        return (min(u, v), max(u, v)) in self._undirected
+
+    def has_arc(self, source: int, target: int) -> bool:
+        """True if the arc source → target exists."""
+        return (
+            self._check_node(source),
+            self._check_node(target),
+        ) in self._directed
+
+    def degree(self, node: int) -> float:
+        """Weighted degree counting both edges and arcs (in + out)."""
+        node = self._check_node(node)
+        total = 0.0
+        for (u, v), w in self._undirected.items():
+            if node in (u, v):
+                total += w
+        for (u, v), w in self._directed.items():
+            if node in (u, v):
+                total += w
+        return total
+
+    def degrees(self) -> np.ndarray:
+        """Vector of weighted degrees for all nodes."""
+        out = np.zeros(self._num_nodes)
+        for (u, v), w in self._undirected.items():
+            out[u] += w
+            out[v] += w
+        for (u, v), w in self._directed.items():
+            out[u] += w
+            out[v] += w
+        return out
+
+    @property
+    def directed_fraction(self) -> float:
+        """Share of connections that are arcs — 0 for a plain graph."""
+        total = self.num_edges + self.num_arcs
+        return self.num_arcs / total if total else 0.0
+
+    # -- conversions ---------------------------------------------------------
+
+    def symmetrized_adjacency(self) -> np.ndarray:
+        """Real adjacency matrix ignoring direction (baseline input)."""
+        adj = np.zeros((self._num_nodes, self._num_nodes))
+        for (u, v), w in self._undirected.items():
+            adj[u, v] = adj[v, u] = adj[u, v] + w
+        for (u, v), w in self._directed.items():
+            adj[u, v] = adj[v, u] = adj[u, v] + w
+        return adj
+
+    def directed_adjacency(self) -> np.ndarray:
+        """Non-symmetric adjacency: arcs appear once, edges twice."""
+        adj = np.zeros((self._num_nodes, self._num_nodes))
+        for (u, v), w in self._undirected.items():
+            adj[u, v] = adj[v, u] = adj[u, v] + w
+        for (u, v), w in self._directed.items():
+            adj[u, v] += w
+        return adj
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a DiGraph; undirected edges become arc pairs tagged
+        ``mixed='undirected'``."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self._num_nodes))
+        for (u, v), w in self._undirected.items():
+            graph.add_edge(u, v, weight=w, mixed="undirected")
+            graph.add_edge(v, u, weight=w, mixed="undirected")
+        for (u, v), w in self._directed.items():
+            graph.add_edge(u, v, weight=w, mixed="directed")
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph) -> "MixedGraph":
+        """Build from a NetworkX (Di)Graph.
+
+        In a DiGraph, antiparallel arc pairs collapse into undirected
+        edges; in an undirected Graph every edge is undirected.
+        """
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        mixed = cls(len(nodes), node_labels=[str(n) for n in nodes])
+        if not graph.is_directed():
+            for u, v, data in graph.edges(data=True):
+                if u == v:
+                    continue
+                mixed.add_edge(index[u], index[v], data.get("weight", 1.0))
+            return mixed
+        seen = set()
+        for u, v, data in graph.edges(data=True):
+            if u == v or (u, v) in seen:
+                continue
+            w = data.get("weight", 1.0)
+            if graph.has_edge(v, u):
+                seen.add((v, u))
+                if data.get("mixed") == "undirected":
+                    # Tagged by to_networkx: the pair encodes ONE undirected
+                    # edge of weight w, not two independent flows.
+                    mixed.add_edge(index[u], index[v], w)
+                else:
+                    w_back = graph[v][u].get("weight", 1.0)
+                    mixed.add_edge(index[u], index[v], w + w_back)
+            else:
+                mixed.add_arc(index[u], index[v], w)
+            seen.add((u, v))
+        return mixed
+
+    def subgraph(self, nodes) -> "MixedGraph":
+        """The induced sub-mixed-graph on ``nodes`` (relabelled 0..len-1)."""
+        nodes = [self._check_node(n) for n in nodes]
+        if len(set(nodes)) != len(nodes):
+            raise GraphError("duplicate nodes in subgraph request")
+        index = {node: i for i, node in enumerate(nodes)}
+        labels = (
+            [self._node_labels[n] for n in nodes] if self._node_labels else None
+        )
+        sub = MixedGraph(len(nodes), node_labels=labels)
+        for (u, v), w in self._undirected.items():
+            if u in index and v in index:
+                sub.add_edge(index[u], index[v], w)
+        for (u, v), w in self._directed.items():
+            if u in index and v in index:
+                sub.add_arc(index[u], index[v], w)
+        return sub
+
+    def is_weakly_connected(self) -> bool:
+        """Connectivity of the underlying undirected graph."""
+        if self._num_nodes == 1:
+            return True
+        adj = self.symmetrized_adjacency() > 0
+        visited = np.zeros(self._num_nodes, dtype=bool)
+        stack = [0]
+        visited[0] = True
+        while stack:
+            node = stack.pop()
+            for neighbor in np.flatnonzero(adj[node]):
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    stack.append(int(neighbor))
+        return bool(visited.all())
+
+    def __repr__(self) -> str:
+        return (
+            f"MixedGraph(n={self._num_nodes}, edges={self.num_edges}, "
+            f"arcs={self.num_arcs})"
+        )

@@ -1,0 +1,230 @@
+"""Gate-level netlist model and conversion to mixed graphs.
+
+A netlist is the DAC-native workload: logic gates connected by nets.  Signal
+flow from a driver to a sink is inherently *directed*, while some physical
+relations (shared buses, latched feedback pairs, abutted macro pins) are
+*undirected*.  Converting a netlist to a mixed graph therefore produces
+exactly the structure the Hermitian Laplacian is designed for, and module
+boundaries give natural ground-truth clusters.
+
+:func:`synthetic_netlist` generates hierarchical designs: ``num_modules``
+blocks of gates with dense internal connectivity and a sparse forward
+inter-module signal flow, with ground-truth module labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.mixed_graph import MixedGraph
+from repro.utils.rng import ensure_rng
+
+GATE_TYPES = ("INPUT", "OUTPUT", "AND", "NAND", "OR", "NOR", "NOT", "BUF", "XOR", "DFF")
+
+
+@dataclass
+class Gate:
+    """One netlist cell: a name, a type, and its input net names."""
+
+    name: str
+    gate_type: str
+    inputs: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.gate_type not in GATE_TYPES:
+            raise GraphError(f"unknown gate type {self.gate_type!r}")
+
+
+@dataclass
+class Netlist:
+    """A gate-level netlist: gates keyed by output-net name.
+
+    Attributes
+    ----------
+    name:
+        Design name.
+    gates:
+        All cells, including INPUT pseudo-gates.
+    module_of:
+        Optional ground-truth module index per gate name (synthetic designs).
+    """
+
+    name: str
+    gates: list[Gate] = field(default_factory=list)
+    module_of: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        names = [g.name for g in self.gates]
+        if len(set(names)) != len(names):
+            raise GraphError(f"duplicate gate names in netlist {self.name!r}")
+
+    @property
+    def num_gates(self) -> int:
+        """Number of cells, inputs included."""
+        return len(self.gates)
+
+    def gate_names(self) -> list[str]:
+        """All cell names in definition order."""
+        return [g.name for g in self.gates]
+
+    def validate(self) -> None:
+        """Check every referenced input net has a driver."""
+        known = set(self.gate_names())
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in known:
+                    raise GraphError(
+                        f"gate {gate.name!r} reads undriven net {net!r}"
+                    )
+
+    def to_mixed_graph(
+        self,
+        include_inputs: bool = True,
+        bidirectional_types: tuple[str, ...] = ("DFF",),
+        net_cliques: bool = True,
+        clique_weight: float = 0.5,
+    ) -> MixedGraph:
+        """Convert to a mixed graph.
+
+        Each driver→sink connection becomes an arc.  Connections into cells
+        whose type is listed in ``bidirectional_types`` become undirected
+        edges — sequential elements couple their fan-in cone both ways
+        (timing constraints propagate backward through registers during
+        retiming, the standard EDA justification for treating them as
+        undirected).
+
+        With ``net_cliques`` enabled, the sinks of every multi-fan-out net
+        are additionally pairwise coupled with undirected edges of weight
+        ``clique_weight`` — the classic clique expansion of hypergraph
+        nets used throughout partitioning literature.  Sinks of one net
+        belong together physically regardless of signal direction, and the
+        extra undirected mass keeps the Hermitian Laplacian's intra-module
+        phases coherent.
+
+        Parameters
+        ----------
+        include_inputs:
+            Keep INPUT pseudo-gates as nodes (``False`` drops them).
+        bidirectional_types:
+            Gate types whose fan-in connections are undirected.
+        net_cliques:
+            Add clique-expansion edges among sinks of shared nets.
+        clique_weight:
+            Weight of each clique-expansion edge.
+        """
+        self.validate()
+        if clique_weight <= 0:
+            raise GraphError(f"clique_weight must be positive, got {clique_weight}")
+        kept = [
+            g for g in self.gates if include_inputs or g.gate_type != "INPUT"
+        ]
+        index = {g.name: i for i, g in enumerate(kept)}
+        graph = MixedGraph(len(kept), node_labels=[g.name for g in kept])
+        sinks_of: dict[str, list[int]] = {}
+        for gate in kept:
+            for net in gate.inputs:
+                if net not in index:
+                    continue  # driver was an excluded INPUT
+                driver, sink = index[net], index[gate.name]
+                if driver == sink:
+                    continue
+                sinks_of.setdefault(net, []).append(sink)
+                if gate.gate_type in bidirectional_types:
+                    if not graph.has_edge(driver, sink):
+                        graph.add_edge(driver, sink)
+                elif not (
+                    graph.has_arc(driver, sink)
+                    or graph.has_arc(sink, driver)
+                    or graph.has_edge(driver, sink)
+                ):
+                    graph.add_arc(driver, sink)
+        if net_cliques:
+            for sinks in sinks_of.values():
+                for i, a in enumerate(sinks):
+                    for b in sinks[i + 1 :]:
+                        if a != b and not (
+                            graph.has_edge(a, b)
+                            or graph.has_arc(a, b)
+                            or graph.has_arc(b, a)
+                        ):
+                            graph.add_edge(a, b, clique_weight)
+        return graph
+
+    def module_labels(self, include_inputs: bool = True) -> np.ndarray:
+        """Ground-truth module index per kept node (synthetic designs only)."""
+        if not self.module_of:
+            raise GraphError(f"netlist {self.name!r} carries no module labels")
+        kept = [
+            g for g in self.gates if include_inputs or g.gate_type != "INPUT"
+        ]
+        return np.array([self.module_of[g.name] for g in kept], dtype=int)
+
+
+def synthetic_netlist(
+    num_modules: int = 3,
+    gates_per_module: int = 12,
+    internal_fanin: int = 2,
+    cross_module_nets: int = 3,
+    feedback_registers: int = 2,
+    seed=None,
+    name: str = "synthetic",
+) -> Netlist:
+    """Generate a hierarchical random netlist with known module structure.
+
+    Each module is a DAG of combinational gates fed by a few primary
+    inputs; ``cross_module_nets`` arcs connect consecutive modules
+    (module i drives module i+1), and ``feedback_registers`` DFF cells per
+    module create undirected couplings inside the module.
+
+    Returns
+    -------
+    :class:`Netlist` with ``module_of`` ground truth filled in.
+    """
+    if num_modules < 1 or gates_per_module < 3:
+        raise GraphError("need >= 1 module and >= 3 gates per module")
+    if internal_fanin < 1:
+        raise GraphError("internal_fanin must be >= 1")
+    rng = ensure_rng(seed)
+    netlist = Netlist(name=name)
+    combinational = [t for t in GATE_TYPES if t not in ("INPUT", "OUTPUT", "DFF")]
+    per_module_names: list[list[str]] = []
+    for module in range(num_modules):
+        names: list[str] = []
+        num_inputs = max(2, gates_per_module // 4)
+        for i in range(num_inputs):
+            gate_name = f"m{module}_in{i}"
+            netlist.gates.append(Gate(gate_name, "INPUT"))
+            netlist.module_of[gate_name] = module
+            names.append(gate_name)
+        num_logic = gates_per_module - num_inputs
+        for i in range(num_logic):
+            gate_name = f"m{module}_g{i}"
+            fanin = min(internal_fanin, len(names))
+            sources = rng.choice(len(names), size=fanin, replace=False)
+            gate_type = combinational[int(rng.integers(len(combinational)))]
+            if gate_type == "NOT" or gate_type == "BUF":
+                sources = sources[:1]
+            netlist.gates.append(
+                Gate(gate_name, gate_type, tuple(names[s] for s in sources))
+            )
+            netlist.module_of[gate_name] = module
+            names.append(gate_name)
+        for i in range(feedback_registers):
+            gate_name = f"m{module}_ff{i}"
+            source = names[int(rng.integers(len(names)))]
+            netlist.gates.append(Gate(gate_name, "DFF", (source,)))
+            netlist.module_of[gate_name] = module
+            names.append(gate_name)
+        per_module_names.append(names)
+    for module in range(num_modules - 1):
+        drivers = per_module_names[module]
+        for i in range(cross_module_nets):
+            driver = drivers[int(rng.integers(len(drivers)))]
+            gate_name = f"x{module}_{i}"
+            netlist.gates.append(Gate(gate_name, "BUF", (driver,)))
+            netlist.module_of[gate_name] = module + 1
+            per_module_names[module + 1].append(gate_name)
+    return netlist

@@ -1,0 +1,100 @@
+"""Clustering-quality metrics: ARI, NMI, matched accuracy, confusion.
+
+All metrics are implemented from first principles on contingency tables;
+only the Hungarian assignment uses ``scipy.optimize.linear_sum_assignment``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.exceptions import ClusteringError
+
+
+def _validate_pair(truth, predicted) -> tuple[np.ndarray, np.ndarray]:
+    truth = np.asarray(truth, dtype=int).ravel()
+    predicted = np.asarray(predicted, dtype=int).ravel()
+    if truth.size != predicted.size:
+        raise ClusteringError(
+            f"label vectors differ in length: {truth.size} vs {predicted.size}"
+        )
+    if truth.size == 0:
+        raise ClusteringError("label vectors are empty")
+    return truth, predicted
+
+
+def contingency_table(truth, predicted) -> np.ndarray:
+    """Counts table C[i, j] = |truth cluster i ∩ predicted cluster j|."""
+    truth, predicted = _validate_pair(truth, predicted)
+    truth_ids = np.unique(truth)
+    predicted_ids = np.unique(predicted)
+    table = np.zeros((truth_ids.size, predicted_ids.size), dtype=int)
+    truth_index = {label: i for i, label in enumerate(truth_ids)}
+    predicted_index = {label: j for j, label in enumerate(predicted_ids)}
+    for t, p in zip(truth, predicted):
+        table[truth_index[t], predicted_index[p]] += 1
+    return table
+
+
+def adjusted_rand_index(truth, predicted) -> float:
+    """ARI ∈ [−1, 1]: chance-corrected pair-counting agreement."""
+    table = contingency_table(truth, predicted)
+    n = table.sum()
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(float)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(float)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(float)).sum()
+    expected = sum_rows * sum_cols / comb2(float(n)) if n > 1 else 0.0
+    maximum = (sum_rows + sum_cols) / 2.0
+    if np.isclose(maximum, expected):
+        return 1.0  # both partitions are trivial and identical in structure
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def normalized_mutual_information(truth, predicted) -> float:
+    """NMI ∈ [0, 1] with arithmetic-mean normalization."""
+    table = contingency_table(truth, predicted).astype(float)
+    n = table.sum()
+    joint = table / n
+    row = joint.sum(axis=1, keepdims=True)
+    col = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_term = np.where(joint > 0, np.log(joint / (row @ col)), 0.0)
+    mutual = float((joint * log_term).sum())
+
+    def entropy(p):
+        p = p[p > 0]
+        return float(-(p * np.log(p)).sum())
+
+    h_truth, h_pred = entropy(row.ravel()), entropy(col.ravel())
+    mean_entropy = (h_truth + h_pred) / 2.0
+    if mean_entropy < 1e-15:
+        return 1.0  # both partitions trivial → identical
+    return float(np.clip(mutual / mean_entropy, 0.0, 1.0))
+
+
+def matched_accuracy(truth, predicted) -> float:
+    """Best-case accuracy over all cluster-label permutations (Hungarian)."""
+    table = contingency_table(truth, predicted)
+    rows, cols = linear_sum_assignment(-table)
+    return float(table[rows, cols].sum() / table.sum())
+
+
+def misclassified_count(truth, predicted) -> int:
+    """Number of nodes misassigned under the optimal label matching."""
+    truth, _ = _validate_pair(truth, predicted)
+    return int(round((1.0 - matched_accuracy(truth, predicted)) * truth.size))
+
+
+def clustering_report(truth, predicted) -> dict[str, float]:
+    """All scalar metrics in one dictionary (used by experiment tables)."""
+    return {
+        "ari": adjusted_rand_index(truth, predicted),
+        "nmi": normalized_mutual_information(truth, predicted),
+        "accuracy": matched_accuracy(truth, predicted),
+        "misclassified": float(misclassified_count(truth, predicted)),
+    }

@@ -1,0 +1,85 @@
+"""Conductance and normalized-cut metrics for mixed-graph partitions.
+
+Complements ``graph_metrics``: conductance φ(S) = cut(S, S̄) / min(vol S,
+vol S̄) is the objective normalized spectral clustering approximately
+minimizes (Cheeger), so reporting it alongside ARI connects the clustering
+tables back to the spectral theory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.graphs.mixed_graph import MixedGraph
+
+
+def _prepare(graph: MixedGraph, labels) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels, dtype=int).ravel()
+    if labels.size != graph.num_nodes:
+        raise ClusteringError(
+            f"{labels.size} labels for a {graph.num_nodes}-node graph"
+        )
+    return graph.symmetrized_adjacency(), labels
+
+
+def set_conductance(graph: MixedGraph, node_set) -> float:
+    """Conductance of one node set S against its complement."""
+    adjacency = graph.symmetrized_adjacency()
+    n = graph.num_nodes
+    mask = np.zeros(n, dtype=bool)
+    for node in node_set:
+        if not 0 <= int(node) < n:
+            raise ClusteringError(f"node {node} out of range")
+        mask[int(node)] = True
+    if not mask.any() or mask.all():
+        raise ClusteringError("node set must be a proper nonempty subset")
+    cut = float(adjacency[mask][:, ~mask].sum())
+    volume_s = float(adjacency[mask].sum())
+    volume_rest = float(adjacency[~mask].sum())
+    denominator = min(volume_s, volume_rest)
+    if denominator <= 0:
+        return 1.0 if cut > 0 else 0.0
+    return cut / denominator
+
+
+def partition_conductance(graph: MixedGraph, labels) -> np.ndarray:
+    """Per-cluster conductance vector (ascending cluster index)."""
+    adjacency, labels = _prepare(graph, labels)
+    clusters = np.unique(labels)
+    if clusters.size < 2:
+        raise ClusteringError("conductance needs at least two clusters")
+    values = []
+    for cluster in clusters:
+        mask = labels == cluster
+        cut = float(adjacency[mask][:, ~mask].sum())
+        volume_s = float(adjacency[mask].sum())
+        volume_rest = float(adjacency[~mask].sum())
+        denominator = min(volume_s, volume_rest)
+        values.append(cut / denominator if denominator > 0 else 1.0)
+    return np.asarray(values)
+
+
+def normalized_cut(graph: MixedGraph, labels) -> float:
+    """Shi–Malik normalized cut: Σ_c cut(c, c̄) / vol(c)."""
+    adjacency, labels = _prepare(graph, labels)
+    clusters = np.unique(labels)
+    if clusters.size < 2:
+        raise ClusteringError("normalized cut needs at least two clusters")
+    total = 0.0
+    for cluster in clusters:
+        mask = labels == cluster
+        cut = float(adjacency[mask][:, ~mask].sum())
+        volume = float(adjacency[mask].sum())
+        if volume > 0:
+            total += cut / volume
+        elif cut > 0:
+            total += 1.0
+    return total
+
+
+def cheeger_upper_bound(lambda_2: float) -> float:
+    """Cheeger: φ(G) <= sqrt(2 λ₂) for the normalized Laplacian."""
+    if lambda_2 < -1e-12:
+        raise ClusteringError("lambda_2 must be non-negative")
+    return float(np.sqrt(2.0 * max(lambda_2, 0.0)))

@@ -1,0 +1,168 @@
+"""From-scratch quantum-computing substrate.
+
+Statevector simulation, a circuit IR, gate library, QFT, Pauli algebra,
+Hamiltonian simulation, phase estimation, amplitude-encoding state
+preparation, measurement/tomography models, swap tests, noise channels and
+resource accounting — everything the mixed-graph quantum spectral
+clustering pipeline needs, with no external quantum SDK.
+"""
+
+from repro.quantum.circuit import Operation, QuantumCircuit
+from repro.quantum.statevector import (
+    Statevector,
+    basis_state,
+    uniform_superposition,
+)
+from repro.quantum.library import (
+    qft_circuit,
+    inverse_qft_circuit,
+    qft_matrix,
+    hadamard_layer,
+    basis_preparation,
+)
+from repro.quantum.pauli import (
+    PauliTerm,
+    pauli_matrix,
+    pauli_decompose,
+    pauli_reconstruct,
+    all_pauli_labels,
+)
+from repro.quantum.hamiltonian import (
+    SpectralDecomposition,
+    exact_evolution,
+    trotter_evolution,
+    trotter_error,
+)
+from repro.quantum.phase_estimation import (
+    QPEResult,
+    qpe_circuit,
+    qpe_outcome_distribution,
+    run_qpe,
+)
+from repro.quantum.state_prep import (
+    amplitude_encode,
+    state_preparation_circuit,
+    state_prep_resources,
+)
+from repro.quantum.measurement import (
+    counts_to_probabilities,
+    sample_distribution,
+    tomography_estimate,
+    expectation_from_counts,
+)
+from repro.quantum.swap_test import (
+    swap_test_circuit,
+    estimate_overlap,
+    estimate_distance_squared,
+)
+from repro.quantum.noise import NoiseModel, noisy_run, noisy_sample_counts
+from repro.quantum.density_matrix import (
+    DensityMatrix,
+    amplitude_damping_kraus,
+    bitflip_kraus,
+    depolarizing_kraus,
+    noisy_circuit_density,
+    phase_damping_kraus,
+)
+from repro.quantum.amplitude import (
+    amplitude_amplification,
+    amplitude_estimation,
+    amplification_schedule,
+    grover_operator,
+    mle_amplitude_estimation,
+    success_probability,
+)
+from repro.quantum.transpile import (
+    TranspileCounts,
+    multi_controlled_counts,
+    transpile_counts,
+    two_level_decompose,
+    unitary_counts,
+)
+from repro.quantum.qram import KPTree, QRAM
+from repro.quantum.walks import (
+    QuantumWalk,
+    directed_cycle,
+    directional_transport_bias,
+)
+from repro.quantum.vqe import (
+    VQEResult,
+    VQESolver,
+    ansatz_state,
+    hardware_efficient_ansatz,
+)
+from repro.quantum.resources import (
+    QPEResources,
+    qpe_resources,
+    quantum_pipeline_step_count,
+    classical_pipeline_step_count,
+)
+
+__all__ = [
+    "Operation",
+    "QuantumCircuit",
+    "Statevector",
+    "basis_state",
+    "uniform_superposition",
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "qft_matrix",
+    "hadamard_layer",
+    "basis_preparation",
+    "PauliTerm",
+    "pauli_matrix",
+    "pauli_decompose",
+    "pauli_reconstruct",
+    "all_pauli_labels",
+    "SpectralDecomposition",
+    "exact_evolution",
+    "trotter_evolution",
+    "trotter_error",
+    "QPEResult",
+    "qpe_circuit",
+    "qpe_outcome_distribution",
+    "run_qpe",
+    "amplitude_encode",
+    "state_preparation_circuit",
+    "state_prep_resources",
+    "counts_to_probabilities",
+    "sample_distribution",
+    "tomography_estimate",
+    "expectation_from_counts",
+    "swap_test_circuit",
+    "estimate_overlap",
+    "estimate_distance_squared",
+    "NoiseModel",
+    "noisy_run",
+    "noisy_sample_counts",
+    "DensityMatrix",
+    "amplitude_damping_kraus",
+    "bitflip_kraus",
+    "depolarizing_kraus",
+    "noisy_circuit_density",
+    "phase_damping_kraus",
+    "amplitude_amplification",
+    "amplitude_estimation",
+    "amplification_schedule",
+    "grover_operator",
+    "mle_amplitude_estimation",
+    "success_probability",
+    "TranspileCounts",
+    "multi_controlled_counts",
+    "transpile_counts",
+    "two_level_decompose",
+    "unitary_counts",
+    "KPTree",
+    "QRAM",
+    "QPEResources",
+    "qpe_resources",
+    "quantum_pipeline_step_count",
+    "classical_pipeline_step_count",
+    "VQEResult",
+    "VQESolver",
+    "ansatz_state",
+    "hardware_efficient_ansatz",
+    "QuantumWalk",
+    "directed_cycle",
+    "directional_transport_bias",
+]

@@ -1,0 +1,73 @@
+"""Reusable circuit constructions: QFT, superposition layers, basis prep.
+
+These are the building blocks the phase-estimation module assembles.  All
+constructions follow the big-endian qubit convention of the package: qubit 0
+is the most significant bit of the basis index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+
+
+def qft_circuit(num_qubits: int, swap: bool = True) -> QuantumCircuit:
+    """The quantum Fourier transform on ``num_qubits`` qubits.
+
+    With ``swap=True`` the output bit order matches the textbook DFT matrix
+    ``F[j, k] = exp(2πi jk / 2^m) / sqrt(2^m)``.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width m.
+    swap:
+        Whether to append the final qubit-reversal swaps.
+    """
+    qc = QuantumCircuit(num_qubits, name=f"qft{num_qubits}")
+    for target in range(num_qubits):
+        qc.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=1):
+            qc.cp(np.pi / (2**offset), control, target)
+    if swap:
+        for low in range(num_qubits // 2):
+            qc.swap(low, num_qubits - 1 - low)
+    return qc
+
+
+def inverse_qft_circuit(num_qubits: int, swap: bool = True) -> QuantumCircuit:
+    """Adjoint of :func:`qft_circuit`."""
+    inv = qft_circuit(num_qubits, swap=swap).inverse()
+    inv.name = f"iqft{num_qubits}"
+    return inv
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """Reference DFT matrix for validating :func:`qft_circuit`."""
+    dim = 2**num_qubits
+    omega = np.exp(2j * np.pi / dim)
+    j, k = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+    return omega ** (j * k) / np.sqrt(dim)
+
+
+def hadamard_layer(num_qubits: int, qubits=None) -> QuantumCircuit:
+    """H on every listed qubit (default: all) — prepares uniform superposition."""
+    qc = QuantumCircuit(num_qubits, name="h_layer")
+    for q in range(num_qubits) if qubits is None else qubits:
+        qc.h(q)
+    return qc
+
+
+def basis_preparation(num_qubits: int, index: int) -> QuantumCircuit:
+    """X gates preparing the computational basis state ``|index>``."""
+    if not 0 <= index < 2**num_qubits:
+        raise CircuitError(
+            f"basis index {index} out of range for {num_qubits} qubits"
+        )
+    qc = QuantumCircuit(num_qubits, name=f"prep|{index}>")
+    for qubit in range(num_qubits):
+        if (index >> (num_qubits - 1 - qubit)) & 1:
+            qc.x(qubit)
+    return qc

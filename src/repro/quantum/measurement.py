@@ -1,0 +1,117 @@
+"""Measurement post-processing and state tomography models.
+
+:func:`tomography_estimate` is the finite-shot readout model used by the
+end-to-end pipeline: the magnitudes of a pure state are estimated from a
+computational-basis multinomial sample and the relative phases from a
+simulated interference measurement whose variance follows the same 1/shots
+law.  With ``shots → ∞`` the estimate converges to the true state
+(property-tested), and the l2 error scales as O(sqrt(d/shots)), matching the
+Kerenidis–Prakash vector-tomography guarantee the paper builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.utils.rng import ensure_rng
+
+
+def counts_to_probabilities(counts: dict[int, int], dim: int) -> np.ndarray:
+    """Empirical probability vector from a counts dictionary."""
+    if dim < 1:
+        raise EncodingError(f"dim must be positive, got {dim}")
+    total = sum(counts.values())
+    if total <= 0:
+        raise EncodingError("counts dictionary is empty")
+    probs = np.zeros(dim, dtype=float)
+    for outcome, count in counts.items():
+        if not 0 <= outcome < dim:
+            raise EncodingError(f"outcome {outcome} out of range for dim {dim}")
+        if count < 0:
+            raise EncodingError("negative count")
+        probs[outcome] = count
+    return probs / total
+
+
+def sample_distribution(probs: np.ndarray, shots: int, seed=None) -> dict[int, int]:
+    """Multinomial sample from an exact distribution, as a counts dict."""
+    probs = np.asarray(probs, dtype=float)
+    if shots < 0:
+        raise EncodingError(f"shots must be non-negative, got {shots}")
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise EncodingError(f"probabilities sum to {total:.4g}, expected 1")
+    rng = ensure_rng(seed)
+    draws = rng.multinomial(shots, probs / total)
+    return {index: int(count) for index, count in enumerate(draws) if count}
+
+
+def tomography_estimate(
+    state: np.ndarray,
+    shots: int,
+    seed=None,
+) -> np.ndarray:
+    """Finite-shot l2 tomography of a pure state.
+
+    Parameters
+    ----------
+    state:
+        The true normalized complex statevector (the simulator knows it; a
+        real device would not).
+    shots:
+        Measurement budget.  Half the shots estimate magnitudes, half the
+        relative phases.
+    seed:
+        RNG seed or generator.
+
+    Returns
+    -------
+    Estimated complex unit vector.  ``shots=0`` returns the exact state
+    (the noiseless limit, used by exact-mode experiments).
+    """
+    state = np.asarray(state, dtype=complex).ravel()
+    norm = np.linalg.norm(state)
+    if norm < 1e-14:
+        raise EncodingError("cannot tomograph the zero vector")
+    state = state / norm
+    if shots < 0:
+        raise EncodingError(f"shots must be non-negative, got {shots}")
+    if shots == 0:
+        return state.copy()
+    rng = ensure_rng(seed)
+    magnitude_shots = max(shots // 2, 1)
+    phase_shots = max(shots - magnitude_shots, 1)
+    counts = rng.multinomial(magnitude_shots, np.abs(state) ** 2)
+    magnitudes = np.sqrt(counts / magnitude_shots)
+    # Relative-phase estimation: each component's phase is measured through
+    # interference against a reference component; the phase error of
+    # component s scales as 1/sqrt(phase_shots * p_s) — low-mass components
+    # carry proportionally noisier phases, exactly as on hardware.
+    true_phases = np.angle(state)
+    probability_mass = np.clip(np.abs(state) ** 2, 1e-12, None)
+    phase_sigma = 1.0 / np.sqrt(phase_shots * probability_mass)
+    noisy_phases = true_phases + rng.normal(0.0, np.minimum(phase_sigma, np.pi), state.size)
+    estimate = magnitudes * np.exp(1j * noisy_phases)
+    estimate_norm = np.linalg.norm(estimate)
+    if estimate_norm < 1e-14:
+        # Every shot landed outside the support (possible for tiny budgets);
+        # fall back to the maximum-likelihood single-basis state.
+        fallback = np.zeros_like(state)
+        fallback[int(np.argmax(np.abs(state)))] = 1.0
+        return fallback
+    return estimate / estimate_norm
+
+
+def expectation_from_counts(counts: dict[int, int], values: np.ndarray) -> float:
+    """Empirical expectation of a diagonal observable from counts."""
+    values = np.asarray(values, dtype=float)
+    total = sum(counts.values())
+    if total <= 0:
+        raise EncodingError("counts dictionary is empty")
+    acc = 0.0
+    for outcome, count in counts.items():
+        if not 0 <= outcome < values.size:
+            raise EncodingError(f"outcome {outcome} out of range")
+        acc += values[outcome] * count
+    return acc / total

@@ -1,0 +1,192 @@
+"""Quantum phase estimation (QPE).
+
+Provides both:
+
+* :func:`qpe_circuit` — the textbook circuit (Hadamard fan-out, controlled
+  powers of U, inverse QFT) executed on the statevector simulator, and
+* :func:`qpe_outcome_distribution` — the exact closed-form ancilla outcome
+  distribution for a single eigenphase,
+
+      Pr[y | φ] = sin²(2^p π Δ_y) / (4^p sin²(π Δ_y)),  Δ_y = φ − y/2^p,
+
+  which the scalable ``analytic`` backend samples directly (see DESIGN.md,
+  substitution table).  Property tests assert the two agree.
+
+Register layout of the circuit: ancilla (counting) qubits are 0..p−1 with
+qubit 0 the most significant readout bit; system qubits follow at p..p+m−1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.library import inverse_qft_circuit
+from repro.quantum.statevector import Statevector
+
+
+def controlled_power_unitaries(unitary: np.ndarray, precision: int) -> list:
+    """Pre-compute U^(2^j) for j = 0..p−1 by repeated squaring."""
+    unitary = np.asarray(unitary, dtype=complex)
+    powers = [unitary]
+    for _ in range(precision - 1):
+        powers.append(powers[-1] @ powers[-1])
+    return powers
+
+
+def qpe_circuit(
+    unitary: np.ndarray,
+    precision: int,
+    state_prep: QuantumCircuit | None = None,
+) -> QuantumCircuit:
+    """Build the QPE circuit for ``unitary`` with ``precision`` ancilla bits.
+
+    Parameters
+    ----------
+    unitary:
+        2^m x 2^m unitary whose eigenphases are estimated.
+    precision:
+        Number of ancilla (readout) qubits p.
+    state_prep:
+        Optional m-qubit circuit preparing the system register; composed at
+        the front so ``qpe_circuit(...).run()`` is self-contained.
+
+    Returns
+    -------
+    QuantumCircuit on p + m qubits.  Measuring qubits 0..p−1 (big-endian)
+    yields y with y/2^p ≈ eigenphase of the system component.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    dim = unitary.shape[0]
+    if dim < 2 or dim & (dim - 1):
+        raise CircuitError(f"unitary dimension {dim} is not a power of two")
+    if precision < 1:
+        raise CircuitError(f"precision must be >= 1, got {precision}")
+    num_system = dim.bit_length() - 1
+    total = precision + num_system
+    qc = QuantumCircuit(total, name=f"qpe(p={precision}, m={num_system})")
+    system_qubits = tuple(range(precision, total))
+    if state_prep is not None:
+        if state_prep.num_qubits != num_system:
+            raise CircuitError(
+                f"state_prep acts on {state_prep.num_qubits} qubits, "
+                f"system register has {num_system}"
+            )
+        qc.compose(state_prep, qubits=system_qubits)
+    for ancilla in range(precision):
+        qc.h(ancilla)
+    powers = controlled_power_unitaries(unitary, precision)
+    for ancilla in range(precision):
+        # Ancilla 0 is the most significant readout bit and therefore
+        # controls the largest power U^(2^{p-1}).
+        exponent_index = precision - 1 - ancilla
+        qc.cu(
+            powers[exponent_index],
+            ancilla,
+            system_qubits,
+            label=f"c-U^{2**exponent_index}",
+        )
+    qc.compose(inverse_qft_circuit(precision), qubits=tuple(range(precision)))
+    return qc
+
+
+def qpe_outcome_distribution(phase: float, precision: int) -> np.ndarray:
+    """Exact QPE readout distribution for one eigenphase.
+
+    Parameters
+    ----------
+    phase:
+        Eigenphase φ ∈ [0, 1) with U|u> = e^{2πiφ}|u>.
+    precision:
+        Ancilla bits p.
+
+    Returns
+    -------
+    Length-2^p probability vector over readouts y.
+    """
+    if precision < 1:
+        raise CircuitError(f"precision must be >= 1, got {precision}")
+    size = 2**precision
+    phase = float(phase) % 1.0
+    y = np.arange(size)
+    delta = phase - y / size
+    numerator = np.sin(np.pi * size * delta) ** 2
+    denominator = (size * np.sin(np.pi * delta)) ** 2
+    probs = np.empty(size, dtype=float)
+    near_zero = np.isclose(np.sin(np.pi * delta), 0.0, atol=1e-12)
+    probs[~near_zero] = numerator[~near_zero] / denominator[~near_zero]
+    probs[near_zero] = 1.0  # limit of the Dirichlet kernel at Δ → integer
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-8):
+        probs = probs / total
+    return probs
+
+
+@dataclass(frozen=True)
+class QPEResult:
+    """Joint readout of a QPE execution over an arbitrary input state.
+
+    Attributes
+    ----------
+    precision:
+        Ancilla bits p.
+    outcome_probabilities:
+        Length-2^p marginal distribution of the ancilla register.
+    conditional_states:
+        Mapping readout y -> normalized system statevector conditioned on
+        reading y (only outcomes with non-negligible probability appear).
+    """
+
+    precision: int
+    outcome_probabilities: np.ndarray
+    conditional_states: dict
+
+    def phase_estimate(self, outcome: int) -> float:
+        """Convert a readout integer to an eigenphase estimate y / 2^p."""
+        return outcome / 2**self.precision
+
+
+def run_qpe(
+    unitary: np.ndarray,
+    precision: int,
+    input_state: np.ndarray,
+    min_probability: float = 1e-12,
+) -> QPEResult:
+    """Execute QPE on ``input_state`` and return exact joint statistics.
+
+    The final statevector is reshaped into (ancilla, system) blocks; the
+    ancilla marginal and each conditional system state are computed exactly,
+    with no sampling — sampling is layered on top by the caller.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    dim = unitary.shape[0]
+    input_state = np.asarray(input_state, dtype=complex).ravel()
+    if input_state.size != dim:
+        raise CircuitError(
+            f"input state has dimension {input_state.size}, unitary needs {dim}"
+        )
+    norm = np.linalg.norm(input_state)
+    if norm < 1e-12:
+        raise CircuitError("input state has zero norm")
+    num_system = dim.bit_length() - 1
+    qc = qpe_circuit(unitary, precision)
+    total_dim = 2 ** (precision + num_system)
+    joint = np.zeros(total_dim, dtype=complex)
+    # Ancillas are the most significant qubits, so |0...0>_anc ⊗ |ψ>_sys
+    # occupies the first 2^m amplitudes.
+    joint[:dim] = input_state / norm
+    final = qc.run(Statevector(joint))
+    table = final.amplitudes.reshape(2**precision, dim)
+    outcome_probabilities = (np.abs(table) ** 2).sum(axis=1)
+    conditional_states = {}
+    for outcome, probability in enumerate(outcome_probabilities):
+        if probability > min_probability:
+            conditional_states[outcome] = table[outcome] / np.sqrt(probability)
+    return QPEResult(
+        precision=precision,
+        outcome_probabilities=outcome_probabilities,
+        conditional_states=conditional_states,
+    )

@@ -1,0 +1,177 @@
+"""QRAM data-structure model (Kerenidis–Prakash binary trees).
+
+Quantum machine-learning papers assume "quantum access" to classical data:
+the ability to prepare |i>|x_i> or amplitude-encoded rows in polylog time.
+The standard realization is the KP-tree: a binary tree over each vector
+whose internal nodes store subtree probability masses, enabling a cascade
+of controlled rotations (one per level) to prepare the amplitude encoding.
+
+This module implements the classical data structure faithfully — build
+cost, update cost, and the rotation-angle queries the quantum circuit
+would make — and exposes the cost model used in runtime discussions.
+Building it costs O(d log d) per vector; each *query* touches O(log d)
+nodes, which is the claimed polylog data-access time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.utils.linalg import next_power_of_two
+
+
+class KPTree:
+    """Kerenidis–Prakash tree over one real or complex vector.
+
+    Parameters
+    ----------
+    vector:
+        The data vector; padded internally to a power-of-two length.
+
+    Notes
+    -----
+    Level l of the tree has 2^l nodes; node (l, j) stores the probability
+    mass of components [j·2^{m−l}, (j+1)·2^{m−l}).  Leaves additionally
+    store the complex sign/phase of each component.
+    """
+
+    def __init__(self, vector):
+        vector = np.asarray(vector, dtype=complex).ravel()
+        if vector.size == 0:
+            raise EncodingError("cannot index an empty vector")
+        self._original_size = vector.size
+        dim = next_power_of_two(max(vector.size, 2))
+        padded = np.zeros(dim, dtype=complex)
+        padded[: vector.size] = vector
+        self._norm = float(np.linalg.norm(padded))
+        if self._norm < 1e-14:
+            raise EncodingError("cannot index the zero vector")
+        self._depth = dim.bit_length() - 1
+        self._phases = np.angle(padded)
+        # levels[l] holds 2^l masses; levels[depth] are leaf masses
+        self._levels: list[np.ndarray] = []
+        masses = np.abs(padded) ** 2
+        stack = [masses]
+        current = masses
+        while current.size > 1:
+            current = current.reshape(-1, 2).sum(axis=1)
+            stack.append(current)
+        self._levels = list(reversed(stack))
+
+    @property
+    def depth(self) -> int:
+        """Tree depth m = log2(padded dimension)."""
+        return self._depth
+
+    @property
+    def dim(self) -> int:
+        """Padded dimension."""
+        return 2**self._depth
+
+    @property
+    def norm(self) -> float:
+        """l2 norm of the indexed vector (stored at the root)."""
+        return self._norm
+
+    def node_mass(self, level: int, index: int) -> float:
+        """Probability mass stored at tree node (level, index)."""
+        if not 0 <= level <= self._depth:
+            raise EncodingError(f"level {level} out of range")
+        masses = self._levels[level]
+        if not 0 <= index < masses.size:
+            raise EncodingError(f"index {index} out of range at level {level}")
+        return float(masses[index])
+
+    def rotation_angle(self, level: int, index: int) -> float:
+        """RY angle θ the state-prep circuit applies at node (level, index).
+
+        cos²(θ/2) routes amplitude to the left child; the controlled-RY
+        cascade over all levels prepares the amplitude encoding exactly
+        (verified against ``state_preparation_circuit`` in tests).
+        """
+        if not 0 <= level < self._depth:
+            raise EncodingError(f"internal level {level} out of range")
+        parent = self.node_mass(level, index)
+        if parent <= 0.0:
+            return 0.0
+        right = self.node_mass(level + 1, 2 * index + 1)
+        ratio = np.clip(right / parent, 0.0, 1.0)
+        return float(2.0 * np.arcsin(np.sqrt(ratio)))
+
+    def leaf_phase(self, index: int) -> float:
+        """Complex phase of component ``index`` (applied after the cascade)."""
+        if not 0 <= index < self.dim:
+            raise EncodingError(f"leaf {index} out of range")
+        return float(self._phases[index])
+
+    def amplitude_encoding(self) -> np.ndarray:
+        """The state the rotation cascade prepares (for validation)."""
+        amplitudes = np.sqrt(self._levels[self._depth]) * np.exp(
+            1j * self._phases
+        )
+        return amplitudes / np.linalg.norm(amplitudes)
+
+    def update(self, index: int, value: complex) -> int:
+        """Point-update component ``index``; returns nodes touched (O(log d))."""
+        if not 0 <= index < self._original_size:
+            raise EncodingError(f"index {index} out of range")
+        new_mass = abs(value) ** 2
+        self._phases[index] = np.angle(value)
+        delta = new_mass - self._levels[self._depth][index]
+        touched = 0
+        node = index
+        for level in range(self._depth, -1, -1):
+            self._levels[level][node] += delta
+            node //= 2
+            touched += 1
+        self._norm = float(np.sqrt(max(self._levels[0][0], 0.0)))
+        return touched
+
+    def query_path(self, index: int) -> list[tuple[int, int]]:
+        """The (level, node) path a quantum query traverses to leaf ``index``."""
+        if not 0 <= index < self.dim:
+            raise EncodingError(f"leaf {index} out of range")
+        path = []
+        for level in range(self._depth + 1):
+            path.append((level, index >> (self._depth - level)))
+        return path
+
+
+class QRAM:
+    """Row-addressable store of KP-trees for a data matrix.
+
+    Models the "quantum access to a matrix" primitive: row norms are all
+    available (Definition-1 style), and each row can be prepared by a
+    O(log d)-depth rotation cascade.
+    """
+
+    def __init__(self, matrix):
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise EncodingError("QRAM requires a non-empty 2-D matrix")
+        self._trees = [KPTree(row) for row in matrix]
+        self._num_rows, self._num_cols = matrix.shape
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) of the stored matrix."""
+        return (self._num_rows, self._num_cols)
+
+    def row_tree(self, row: int) -> KPTree:
+        """The KP-tree of one row."""
+        if not 0 <= row < self._num_rows:
+            raise EncodingError(f"row {row} out of range")
+        return self._trees[row]
+
+    def row_norms(self) -> np.ndarray:
+        """All row norms (the second mapping of quantum access)."""
+        return np.array([tree.norm for tree in self._trees])
+
+    def build_cost(self) -> int:
+        """Total classical preprocessing cost in node writes, O(n·d)."""
+        return sum(2 * tree.dim - 1 for tree in self._trees)
+
+    def query_cost(self) -> int:
+        """Nodes touched per quantum row query — O(log d)."""
+        return self._trees[0].depth + 1 if self._trees else 0

@@ -1,0 +1,125 @@
+"""Amplitude encoding: preparing |x> = Σ_j x_j |j> / ||x|| as a circuit.
+
+Implements the Möttönen-style recursive construction from uniformly
+controlled Y-rotations (magnitudes) followed by controlled phase rotations
+(complex arguments).  For the simulator we realise each uniformly controlled
+rotation as an explicit block-diagonal unitary — the gate count bookkeeping
+for resource estimation still follows the decomposed counts (2^m − 1
+rotations per layer), reported by :func:`state_prep_resources`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.quantum.circuit import QuantumCircuit
+from repro.utils.linalg import next_power_of_two
+
+
+def pad_to_power_of_two(vector: np.ndarray) -> np.ndarray:
+    """Zero-pad a vector to the next power-of-two length (copies)."""
+    vector = np.asarray(vector, dtype=complex).ravel()
+    if vector.size == 0:
+        raise EncodingError("cannot encode an empty vector")
+    target = next_power_of_two(max(vector.size, 2))
+    padded = np.zeros(target, dtype=complex)
+    padded[: vector.size] = vector
+    return padded
+
+
+def amplitude_encode(vector: np.ndarray) -> np.ndarray:
+    """Normalize (and pad) a classical vector into a statevector array."""
+    padded = pad_to_power_of_two(vector)
+    norm = np.linalg.norm(padded)
+    if norm < 1e-14:
+        raise EncodingError("cannot encode the zero vector")
+    return padded / norm
+
+
+def _rotation_tree_angles(magnitudes: np.ndarray) -> list[np.ndarray]:
+    """Y-rotation angles for each level of the binary amplitude tree.
+
+    Level l holds 2^l angles; angle θ splits the probability mass of a node
+    between its two children via cos(θ/2), sin(θ/2).
+    """
+    probs = magnitudes**2
+    levels: list[np.ndarray] = []
+    current = probs
+    stack: list[np.ndarray] = []
+    while current.size > 1:
+        pairs = current.reshape(-1, 2)
+        parents = pairs.sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(parents > 0, pairs[:, 1] / np.where(parents > 0, parents, 1), 0.0)
+        angles = 2.0 * np.arcsin(np.sqrt(np.clip(ratio, 0.0, 1.0)))
+        stack.append(angles)
+        current = parents
+    for angles in reversed(stack):
+        levels.append(angles)
+    return levels
+
+
+def state_preparation_circuit(vector: np.ndarray) -> QuantumCircuit:
+    """A circuit mapping |0...0> to the amplitude encoding of ``vector``.
+
+    Parameters
+    ----------
+    vector:
+        Real or complex vector; it is padded to a power of two and
+        normalized.
+
+    Returns
+    -------
+    QuantumCircuit on ``log2(len(padded))`` qubits.
+
+    Notes
+    -----
+    Uniformly controlled rotations are emitted as explicit block-diagonal
+    unitaries on the qubit prefix, one per tree level, plus one diagonal
+    phase layer.  ``circuit.statevector()`` reproduces the encoding to
+    machine precision (property-tested).
+    """
+    amplitudes = amplitude_encode(vector)
+    num_qubits = amplitudes.size.bit_length() - 1
+    qc = QuantumCircuit(num_qubits, name="amplitude_encode")
+    magnitudes = np.abs(amplitudes)
+    levels = _rotation_tree_angles(magnitudes)
+    for level, angles in enumerate(levels):
+        # Uniformly controlled RY on qubit ``level`` controlled by qubits
+        # 0..level-1: block-diagonal matrix with one RY block per control
+        # pattern.
+        blocks = []
+        for theta in angles:
+            c, s = np.cos(theta / 2), np.sin(theta / 2)
+            blocks.append(np.array([[c, -s], [s, c]], dtype=complex))
+        dim = 2 ** (level + 1)
+        ucry = np.zeros((dim, dim), dtype=complex)
+        for i, block in enumerate(blocks):
+            ucry[2 * i : 2 * i + 2, 2 * i : 2 * i + 2] = block
+        qc.add_unitary(ucry, tuple(range(level + 1)), label=f"ucry[{level}]")
+    phases = np.angle(amplitudes)
+    if np.any(np.abs(phases) > 1e-12):
+        qc.add_unitary(
+            np.diag(np.exp(1j * phases)), tuple(range(num_qubits)), label="phase_layer"
+        )
+    return qc
+
+
+def state_prep_resources(dimension: int) -> dict[str, int]:
+    """Decomposed gate counts for amplitude encoding a ``dimension`` vector.
+
+    Following Möttönen et al.: 2^m − 1 multiplexed RY rotations for the
+    magnitude tree, each costing 2^l CNOTs + 2^l RYs at level l, plus one
+    final diagonal phase layer of at most 2^m − 1 RZ rotations.
+    """
+    dim = next_power_of_two(max(int(dimension), 2))
+    num_qubits = dim.bit_length() - 1
+    cnots = sum(2**level for level in range(1, num_qubits))
+    rotations = sum(2**level for level in range(num_qubits)) + (dim - 1)
+    return {
+        "qubits": num_qubits,
+        "cnot": cnots,
+        "rotation": rotations,
+        "depth_estimate": 2 * dim,
+    }

@@ -1,0 +1,192 @@
+"""Transpilation: decomposing unitaries into a CNOT + single-qubit basis.
+
+The statevector backend happily applies raw dense unitaries, but hardware
+resource estimates need counts over an elementary gate set.  This module
+provides the two classical workhorses:
+
+* :func:`two_level_decompose` — factor any d × d unitary into a product of
+  two-level (Givens) rotations, the textbook first stage of exact
+  synthesis; and
+* :func:`transpile_counts` — end-to-end count model mapping a circuit's
+  operations to {CNOT, u3} totals, using known optimal constructions for
+  the common cases (1- and 2-qubit unitaries, multi-controlled gates) and
+  the generic O(4^m) bound otherwise.
+
+The decomposition is validated by reconstruction in tests, and the counts
+feed the F3 resource figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.utils.linalg import is_unitary
+
+
+@dataclass(frozen=True)
+class TwoLevelRotation:
+    """A Givens rotation acting on basis states (i, j).
+
+    The embedded matrix is the identity except for the 2 × 2 block
+    [[a, b], [c, d]] at rows/columns (i, j).
+    """
+
+    i: int
+    j: int
+    block: np.ndarray
+
+    def embed(self, dim: int) -> np.ndarray:
+        """The full d × d two-level matrix."""
+        matrix = np.eye(dim, dtype=complex)
+        matrix[self.i, self.i] = self.block[0, 0]
+        matrix[self.i, self.j] = self.block[0, 1]
+        matrix[self.j, self.i] = self.block[1, 0]
+        matrix[self.j, self.j] = self.block[1, 1]
+        return matrix
+
+
+def two_level_decompose(unitary: np.ndarray, tol: float = 1e-12):
+    """Factor ``unitary`` into two-level rotations plus a diagonal phase.
+
+    Returns
+    -------
+    (rotations, phases):
+        ``unitary = R_1 @ R_2 @ ... @ R_k @ diag(phases)`` where each R is
+        a :class:`TwoLevelRotation` (validated by reconstruction in tests).
+
+    Notes
+    -----
+    Standard column-reduction: for each column c, rotations acting on rows
+    (c, r > c) zero the sub-diagonal entries.  At most d(d−1)/2 rotations.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if not is_unitary(unitary, atol=1e-8):
+        raise CircuitError("two_level_decompose requires a unitary matrix")
+    dim = unitary.shape[0]
+    work = unitary.copy()
+    rotations: list[TwoLevelRotation] = []
+    for col in range(dim - 1):
+        for row in range(dim - 1, col, -1):
+            a = work[col, col]
+            b = work[row, col]
+            if abs(b) <= tol:
+                continue
+            norm = np.sqrt(abs(a) ** 2 + abs(b) ** 2)
+            # Rotation G with G @ [a, b]^T = [norm, 0]^T
+            block = np.array(
+                [
+                    [np.conj(a) / norm, np.conj(b) / norm],
+                    [b / norm, -a / norm],
+                ],
+                dtype=complex,
+            )
+            rotation = TwoLevelRotation(col, row, block)
+            work = rotation.embed(dim) @ work
+            # store the inverse (the factor of U itself)
+            rotations.append(
+                TwoLevelRotation(col, row, block.conj().T)
+            )
+    phases = np.diag(work).copy()
+    if not np.allclose(np.abs(phases), 1.0, atol=1e-8):
+        raise CircuitError("decomposition failed to reach a diagonal")
+    return rotations, phases
+
+
+def reconstruct(rotations, phases) -> np.ndarray:
+    """Multiply a two-level decomposition back together (for validation)."""
+    phases = np.asarray(phases, dtype=complex)
+    dim = phases.size
+    matrix = np.diag(phases)
+    for rotation in reversed(rotations):
+        matrix = rotation.embed(dim) @ matrix
+    return matrix
+
+
+@dataclass(frozen=True)
+class TranspileCounts:
+    """Elementary-gate totals of a transpiled circuit."""
+
+    cnot: int
+    single_qubit: int
+
+    @property
+    def total(self) -> int:
+        """All elementary gates."""
+        return self.cnot + self.single_qubit
+
+    def __add__(self, other: "TranspileCounts") -> "TranspileCounts":
+        return TranspileCounts(
+            cnot=self.cnot + other.cnot,
+            single_qubit=self.single_qubit + other.single_qubit,
+        )
+
+
+def unitary_counts(num_qubits: int) -> TranspileCounts:
+    """Worst-case exact-synthesis counts for a generic m-qubit unitary.
+
+    Uses the known constructions: 1 qubit → one u3; 2 qubits → 3 CNOTs +
+    8 u3 (Vidal–Dawson); m ≥ 3 → the quantum Shannon decomposition bound
+    of (3/4)·4^m − (3/2)·2^m CNOTs.
+    """
+    if num_qubits < 1:
+        raise CircuitError("num_qubits must be >= 1")
+    if num_qubits == 1:
+        return TranspileCounts(cnot=0, single_qubit=1)
+    if num_qubits == 2:
+        return TranspileCounts(cnot=3, single_qubit=8)
+    cnots = int((3 / 4) * 4**num_qubits - (3 / 2) * 2**num_qubits)
+    return TranspileCounts(cnot=cnots, single_qubit=2 * cnots)
+
+
+def multi_controlled_counts(num_controls: int) -> TranspileCounts:
+    """Counts for an n-controlled single-qubit gate.
+
+    1 control → 2 CNOTs + 3 u3 (standard CU); n ≥ 2 → the linear-ancilla-
+    free construction with O(n²) CNOTs (Barenco et al. bound 8n² − 24n +
+    16 is loose; we use the common 16n − 24 estimate for n ≥ 3 with one
+    dirty ancilla, which matches modern syntheses).
+    """
+    if num_controls < 1:
+        raise CircuitError("num_controls must be >= 1")
+    if num_controls == 1:
+        return TranspileCounts(cnot=2, single_qubit=3)
+    if num_controls == 2:
+        return TranspileCounts(cnot=6, single_qubit=9)  # Toffoli-class
+    cnots = 16 * num_controls - 24
+    return TranspileCounts(cnot=cnots, single_qubit=2 * cnots)
+
+
+def transpile_counts(circuit) -> TranspileCounts:
+    """Elementary CNOT + u3 totals for a ``QuantumCircuit``.
+
+    Named single-qubit gates count as one u3; SWAP as 3 CNOTs; raw
+    unitaries use :func:`unitary_counts` on their width; controlled-U
+    labels (emitted by QPE builders) are priced as a controlled generic
+    unitary: controls contribute :func:`multi_controlled_counts` and the
+    target block :func:`unitary_counts`.
+    """
+    total = TranspileCounts(cnot=0, single_qubit=0)
+    for op in circuit.operations:
+        width = len(op.qubits)
+        if op.name != "unitary":
+            if op.name == "swap":
+                total += TranspileCounts(cnot=3, single_qubit=0)
+            elif width == 1:
+                total += TranspileCounts(cnot=0, single_qubit=1)
+            else:
+                total += unitary_counts(width)
+            continue
+        label = op.label or ""
+        if label.startswith("c-") and width >= 2:
+            total += multi_controlled_counts(1)
+            total += unitary_counts(width - 1)
+        elif label.startswith(("cx", "cz", "cp")):
+            total += TranspileCounts(cnot=2, single_qubit=3)
+        elif label == "cswap":
+            total += TranspileCounts(cnot=8, single_qubit=9)
+        else:
+            total += unitary_counts(width)
+    return total

@@ -1,0 +1,217 @@
+"""Variational quantum eigensolver (VQE) for Laplacian ground states.
+
+QPE needs deep coherent circuits; the NISQ-era alternative the paper's
+outlook discusses is variational: a shallow parameterized ansatz is
+optimized to minimize <ψ(θ)|𝓛|ψ(θ)>, whose minimum is the lowest
+Laplacian eigenvector.  With *deflation* (penalizing overlap with already-
+found states, "variational quantum deflation", Higgott et al. 2019) the k
+lowest eigenvectors emerge one by one — an alternative front end for the
+clustering pipeline at circuit depths NISQ devices can run.
+
+The ansatz is the standard hardware-efficient layout: layers of per-qubit
+RY/RZ rotations separated by a linear CNOT entangling chain.  Gradients
+use the parameter-shift rule (exact for these generators), and the
+optimizer is plain Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+from repro.quantum import gates
+from repro.quantum.circuit import QuantumCircuit
+from repro.utils.linalg import is_hermitian
+from repro.utils.rng import ensure_rng
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int, parameters: np.ndarray, layers: int
+) -> QuantumCircuit:
+    """Build the ansatz circuit for a parameter vector.
+
+    Each layer holds 2·m angles (RY then RZ per qubit) followed by a CNOT
+    chain; a final rotation layer closes the circuit.  Total parameter
+    count: 2·m·(layers + 1).
+    """
+    expected = 2 * num_qubits * (layers + 1)
+    parameters = np.asarray(parameters, dtype=float).ravel()
+    if parameters.size != expected:
+        raise ConvergenceError(
+            f"ansatz needs {expected} parameters, got {parameters.size}"
+        )
+    qc = QuantumCircuit(num_qubits, name=f"hea{layers}")
+    index = 0
+    for layer in range(layers + 1):
+        for qubit in range(num_qubits):
+            qc.ry(parameters[index], qubit)
+            qc.rz(parameters[index + 1], qubit)
+            index += 2
+        if layer < layers:
+            for qubit in range(num_qubits - 1):
+                qc.cx(qubit, qubit + 1)
+    return qc
+
+
+def ansatz_state(num_qubits: int, parameters: np.ndarray, layers: int):
+    """The statevector |ψ(θ)> the ansatz prepares."""
+    return hardware_efficient_ansatz(
+        num_qubits, parameters, layers
+    ).statevector().amplitudes
+
+
+@dataclass(frozen=True)
+class VQEResult:
+    """Converged variational eigenpair(s).
+
+    Attributes
+    ----------
+    eigenvalues:
+        Variational eigenvalue estimates, ascending, length k.
+    eigenvectors:
+        Column-stacked variational states.
+    energy_history:
+        Objective trajectory of the *last* deflation stage (diagnostics).
+    iterations:
+        Total optimizer steps across stages.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    energy_history: np.ndarray
+    iterations: int
+
+
+class VQESolver:
+    """Variational solver for the k lowest eigenpairs of a Hermitian matrix.
+
+    Parameters
+    ----------
+    layers:
+        Entangling layers of the hardware-efficient ansatz.
+    max_iterations:
+        Adam steps per deflation stage.
+    learning_rate:
+        Adam step size.
+    deflation_weight:
+        Penalty β multiplying overlaps with previously found states; must
+        exceed the spectral spread for correct ordering (auto-scaled from
+        the matrix norm when left at ``None``).
+    tolerance:
+        Early-stop threshold on the energy improvement over a 25-step
+        window.
+    seed:
+        Parameter-initialization seed.
+    """
+
+    def __init__(
+        self,
+        layers: int = 3,
+        max_iterations: int = 400,
+        learning_rate: float = 0.1,
+        deflation_weight: float | None = None,
+        tolerance: float = 1e-7,
+        seed=None,
+    ):
+        if layers < 1 or max_iterations < 1:
+            raise ConvergenceError("layers and max_iterations must be >= 1")
+        self.layers = layers
+        self.max_iterations = max_iterations
+        self.learning_rate = learning_rate
+        self.deflation_weight = deflation_weight
+        self.tolerance = tolerance
+        self.seed = seed
+
+    # -- objective ---------------------------------------------------------
+
+    def _energy(self, matrix, parameters, num_qubits, found):
+        state = ansatz_state(num_qubits, parameters, self.layers)
+        energy = float(np.real(state.conj() @ matrix @ state))
+        penalty = 0.0
+        for vector, beta in found:
+            penalty += beta * float(abs(np.vdot(vector, state)) ** 2)
+        return energy + penalty
+
+    def _gradient(self, matrix, parameters, num_qubits, found):
+        """Parameter-shift gradient (exact for RY/RZ generators)."""
+        gradient = np.zeros_like(parameters)
+        shift = np.pi / 2
+        for i in range(parameters.size):
+            plus = parameters.copy()
+            plus[i] += shift
+            minus = parameters.copy()
+            minus[i] -= shift
+            gradient[i] = 0.5 * (
+                self._energy(matrix, plus, num_qubits, found)
+                - self._energy(matrix, minus, num_qubits, found)
+            )
+        return gradient
+
+    # -- driver --------------------------------------------------------------
+
+    def solve(self, matrix: np.ndarray, k: int = 1) -> VQEResult:
+        """Find the k lowest eigenpairs by deflated VQE."""
+        matrix = np.asarray(matrix, dtype=complex)
+        if not is_hermitian(matrix, atol=1e-8):
+            raise ConvergenceError("VQE requires a Hermitian matrix")
+        dim = matrix.shape[0]
+        if dim & (dim - 1):
+            raise ConvergenceError("dimension must be a power of two")
+        num_qubits = dim.bit_length() - 1
+        if not 1 <= k <= dim:
+            raise ConvergenceError(f"k must be in [1, {dim}], got {k}")
+        rng = ensure_rng(self.seed)
+        spread = float(np.linalg.norm(matrix, ord=2))
+        beta = (
+            self.deflation_weight
+            if self.deflation_weight is not None
+            else 4.0 * max(spread, 1.0)
+        )
+        found: list[tuple[np.ndarray, float]] = []
+        eigenvalues = []
+        vectors = []
+        history = np.array([])
+        total_steps = 0
+        num_parameters = 2 * num_qubits * (self.layers + 1)
+        for _ in range(k):
+            parameters = rng.uniform(-np.pi, np.pi, num_parameters)
+            moment1 = np.zeros(num_parameters)
+            moment2 = np.zeros(num_parameters)
+            stage_history = []
+            best_energy = np.inf
+            best_parameters = parameters.copy()
+            for step in range(1, self.max_iterations + 1):
+                total_steps += 1
+                gradient = self._gradient(matrix, parameters, num_qubits, found)
+                moment1 = 0.9 * moment1 + 0.1 * gradient
+                moment2 = 0.999 * moment2 + 0.001 * gradient**2
+                m_hat = moment1 / (1 - 0.9**step)
+                v_hat = moment2 / (1 - 0.999**step)
+                parameters = parameters - self.learning_rate * m_hat / (
+                    np.sqrt(v_hat) + 1e-8
+                )
+                energy = self._energy(matrix, parameters, num_qubits, found)
+                stage_history.append(energy)
+                if energy < best_energy:
+                    best_energy = energy
+                    best_parameters = parameters.copy()
+                if (
+                    step > 25
+                    and abs(stage_history[-25] - energy) < self.tolerance
+                ):
+                    break
+            state = ansatz_state(num_qubits, best_parameters, self.layers)
+            value = float(np.real(state.conj() @ matrix @ state))
+            eigenvalues.append(value)
+            vectors.append(state)
+            found.append((state, beta))
+            history = np.asarray(stage_history)
+        order = np.argsort(eigenvalues)
+        return VQEResult(
+            eigenvalues=np.array(eigenvalues)[order],
+            eigenvectors=np.column_stack([vectors[i] for i in order]),
+            energy_history=history,
+            iterations=total_steps,
+        )

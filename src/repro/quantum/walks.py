@@ -1,0 +1,124 @@
+"""Continuous-time quantum walks on mixed graphs (chiral walks).
+
+A continuous-time quantum walk evolves node amplitudes under U(t) =
+exp(−iHt).  A classical symmetric adjacency gives time-reversal-symmetric
+transport; the *Hermitian* adjacency of a mixed graph breaks that symmetry
+— the complex arc phases bias transport along arc directions ("chiral
+quantum walks", Zimborás et al. 2013).  This is the same mathematical fact
+the clustering paper exploits (direction lives in phases a Hamiltonian can
+carry), demonstrated dynamically.
+
+Used by the ``flow_clustering`` narrative and exercised as a library
+feature with its own tests; :func:`directional_transport_bias` gives the
+scalar the chirality demo quotes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.hermitian import DEFAULT_THETA, hermitian_adjacency
+from repro.graphs.mixed_graph import MixedGraph
+from repro.quantum.hamiltonian import SpectralDecomposition
+
+
+class QuantumWalk:
+    """Continuous-time quantum walk driven by the Hermitian adjacency.
+
+    Parameters
+    ----------
+    graph:
+        The mixed graph to walk on.
+    theta:
+        Arc phase; θ = π/2 maximizes chirality, θ → 0 restores the
+        symmetric walk.
+    use_laplacian:
+        Drive with L = D − H instead of H (both are common conventions;
+        transport bias appears either way).
+    """
+
+    def __init__(
+        self,
+        graph: MixedGraph,
+        theta: float = DEFAULT_THETA,
+        use_laplacian: bool = False,
+    ):
+        self.graph = graph
+        self.theta = float(theta)
+        adjacency = hermitian_adjacency(graph, theta)
+        if use_laplacian:
+            hamiltonian = np.diag(graph.degrees()).astype(complex) - adjacency
+        else:
+            hamiltonian = adjacency
+        self._decomposition = SpectralDecomposition.of(hamiltonian)
+        self.num_nodes = graph.num_nodes
+
+    def evolve(self, initial: np.ndarray, time: float) -> np.ndarray:
+        """Amplitudes after walking for ``time`` from ``initial``."""
+        initial = np.asarray(initial, dtype=complex).ravel()
+        if initial.size != self.num_nodes:
+            raise GraphError(
+                f"initial state has {initial.size} amplitudes for "
+                f"{self.num_nodes} nodes"
+            )
+        norm = np.linalg.norm(initial)
+        if norm < 1e-14:
+            raise GraphError("initial state has zero norm")
+        unitary = self._decomposition.evolution(-time)  # exp(-iHt)
+        return unitary @ (initial / norm)
+
+    def transport_probability(self, source: int, target: int, time: float) -> float:
+        """|<target| e^{−iHt} |source>|²."""
+        if not (0 <= source < self.num_nodes and 0 <= target < self.num_nodes):
+            raise GraphError("source/target out of range")
+        initial = np.zeros(self.num_nodes)
+        initial[source] = 1.0
+        final = self.evolve(initial, time)
+        return float(abs(final[target]) ** 2)
+
+    def probability_profile(self, source: int, time: float) -> np.ndarray:
+        """Occupation probabilities over all nodes at ``time``."""
+        initial = np.zeros(self.num_nodes)
+        initial[source] = 1.0
+        return np.abs(self.evolve(initial, time)) ** 2
+
+    def mixing_profile(self, source: int, times) -> np.ndarray:
+        """Stacked probability profiles for a time grid (rows = times)."""
+        return np.vstack(
+            [self.probability_profile(source, float(t)) for t in times]
+        )
+
+
+def directional_transport_bias(
+    graph: MixedGraph,
+    source: int,
+    forward: int,
+    backward: int,
+    time: float,
+    theta: float = DEFAULT_THETA,
+) -> float:
+    """P(source→forward) − P(source→backward) at one walk time.
+
+    Chirality is a *gauge-flux* effect: on a directed n-cycle the bias is
+    non-zero exactly when the accumulated phase n·θ ∉ {0, π} (mod 2π) —
+    e.g. strongly non-zero for n = 3 at θ = π/2, and identically zero for
+    n = 4 or 8 where the flux cancels.  Undirected graphs are always
+    unbiased by time-reversal symmetry.  (All three regimes are
+    property-tested.)  The sign depends on the e^{−iHt} / +i-phase
+    conventions; the physically meaningful statement is |bias| > 0.
+    """
+    walk = QuantumWalk(graph, theta=theta)
+    return walk.transport_probability(
+        source, forward, time
+    ) - walk.transport_probability(source, backward, time)
+
+
+def directed_cycle(num_nodes: int) -> MixedGraph:
+    """A directed n-cycle 0 → 1 → ... → n−1 → 0 (chirality test fixture)."""
+    if num_nodes < 3:
+        raise GraphError("a directed cycle needs at least 3 nodes")
+    graph = MixedGraph(num_nodes)
+    for node in range(num_nodes):
+        graph.add_arc(node, (node + 1) % num_nodes)
+    return graph

@@ -1,0 +1,89 @@
+"""Spectral embeddings of mixed graphs.
+
+The embedding row of node i is its coordinate vector in the span of the k
+lowest Laplacian eigenvectors.  For the *Hermitian* Laplacian those
+coordinates are complex; clustering algorithms operate on real vectors, so
+:func:`complex_to_real_features` maps C^k → R^{2k} by stacking real and
+imaginary parts — an isometry, so cluster geometry is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.graphs.hermitian import DEFAULT_THETA, hermitian_laplacian
+from repro.graphs.mixed_graph import MixedGraph
+from repro.spectral.eigensolvers import dense_lowest_eigenpairs
+
+
+def complex_to_real_features(matrix: np.ndarray) -> np.ndarray:
+    """Stack [Re | Im] columns: an isometric map C^{n×k} → R^{n×2k}."""
+    matrix = np.asarray(matrix)
+    if np.iscomplexobj(matrix):
+        return np.hstack([matrix.real, matrix.imag])
+    return matrix.astype(float, copy=True)
+
+
+def row_normalize(matrix: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Scale each row to unit norm (Ng–Jordan–Weiss normalization).
+
+    Zero rows are left as zeros rather than divided — they correspond to
+    nodes with no projection onto the cluster subspace.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return np.where(norms > epsilon, matrix / np.where(norms > epsilon, norms, 1.0), 0.0)
+
+
+def spectral_embedding(
+    graph: MixedGraph,
+    num_clusters: int,
+    theta: float = DEFAULT_THETA,
+    normalization: str = "symmetric",
+    normalize_rows: bool = True,
+) -> np.ndarray:
+    """Classical (exact) spectral embedding of a mixed graph.
+
+    Parameters
+    ----------
+    graph:
+        Input mixed graph on n nodes.
+    num_clusters:
+        Number of eigenvectors kept, k.
+    theta:
+        Hermitian phase angle for arcs.
+    normalization:
+        Laplacian normalization (see ``repro.graphs.hermitian``).
+    normalize_rows:
+        Apply row normalization after the real feature map.
+
+    Returns
+    -------
+    Real n × 2k feature matrix.
+    """
+    if num_clusters < 1 or num_clusters > graph.num_nodes:
+        raise ClusteringError(
+            f"num_clusters must be in [1, {graph.num_nodes}], got {num_clusters}"
+        )
+    laplacian = hermitian_laplacian(graph, theta, normalization)
+    _, vectors = dense_lowest_eigenpairs(laplacian, num_clusters)
+    features = complex_to_real_features(vectors)
+    if normalize_rows:
+        features = row_normalize(features)
+    return features
+
+
+def projector_embedding(
+    eigenvectors: np.ndarray,
+) -> np.ndarray:
+    """Rows of the subspace projector Π_k = U_k U_k† as embedding vectors.
+
+    This is what the *quantum* pipeline physically reconstructs: the
+    projected basis state Π_k|i> read out in the computational basis.
+    Because U_k† is an isometry on the k-dimensional subspace, pairwise
+    distances among projector rows equal those among eigenvector-coordinate
+    rows, so clustering either representation is equivalent (tested).
+    """
+    eigenvectors = np.asarray(eigenvectors)
+    return eigenvectors @ eigenvectors.conj().T

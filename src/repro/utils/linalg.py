@@ -1,0 +1,52 @@
+"""Small linear-algebra helpers used across the quantum and spectral stacks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_ATOL = 1e-10
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` if ``matrix`` equals its conjugate transpose."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return ``True`` if ``matrix`` is unitary (U @ U† = I)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+def is_psd(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return ``True`` if a Hermitian ``matrix`` is positive semidefinite.
+
+    The check eigendecomposes, so reserve it for tests and validation paths.
+    """
+    if not is_hermitian(matrix, atol=max(atol, DEFAULT_ATOL)):
+        return False
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    return bool(eigenvalues.min() >= -atol)
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (with ``value`` >= 1)."""
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def num_qubits_for(dimension: int) -> int:
+    """Number of qubits needed to index a space of size ``dimension``."""
+    return (next_power_of_two(dimension)).bit_length() - 1
+
+
+def frobenius_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Frobenius norm of ``a - b`` — convenient for closeness assertions."""
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))

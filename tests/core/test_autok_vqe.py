@@ -1,0 +1,149 @@
+"""Tests for quantum auto-k model selection and the VQE solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_num_clusters_quantum, eigenvalues_from_histogram
+from repro.core.qpe_engine import AnalyticQPEBackend
+from repro.exceptions import ClusteringError, ConvergenceError
+from repro.graphs import ensure_connected, hermitian_laplacian, mixed_sbm
+from repro.quantum import VQESolver, ansatz_state, hardware_efficient_ansatz
+from repro.spectral import estimate_num_clusters
+from repro.graphs import laplacian_spectrum
+
+
+def strong_sbm(num_clusters, num_nodes=32, seed=0):
+    graph, truth = mixed_sbm(
+        num_nodes,
+        num_clusters,
+        p_intra=0.7,
+        p_inter=0.02,
+        seed=seed,
+    )
+    ensure_connected(graph, seed=seed)
+    return graph, truth
+
+
+class TestAutoK:
+    def histogram_for(self, graph, precision=7, shots=16384, seed=0):
+        backend = AnalyticQPEBackend(hermitian_laplacian(graph), precision)
+        rng = np.random.default_rng(seed)
+        return backend.eigenvalue_histogram(shots, rng), backend
+
+    @pytest.mark.parametrize("k_true", [2, 3, 4])
+    def test_recovers_cluster_count(self, k_true):
+        graph, _ = strong_sbm(k_true, num_nodes=40, seed=k_true)
+        histogram, backend = self.histogram_for(graph)
+        result = estimate_num_clusters_quantum(
+            histogram, graph.num_nodes, 7, backend.lambda_scale
+        )
+        assert result.num_clusters == k_true
+
+    def test_agrees_with_classical_eigengap(self):
+        graph, _ = strong_sbm(3, num_nodes=36, seed=9)
+        histogram, backend = self.histogram_for(graph)
+        quantum_k = estimate_num_clusters_quantum(
+            histogram, graph.num_nodes, 7, backend.lambda_scale
+        ).num_clusters
+        values, _ = laplacian_spectrum(graph)
+        classical_k = estimate_num_clusters(values)
+        assert quantum_k == classical_k
+
+    def test_eigenvalue_estimates_track_spectrum(self):
+        graph, _ = strong_sbm(2, num_nodes=24, seed=5)
+        histogram, backend = self.histogram_for(graph, shots=32768)
+        estimates = eigenvalues_from_histogram(
+            histogram, graph.num_nodes, 7, backend.lambda_scale
+        )
+        exact = np.linalg.eigvalsh(hermitian_laplacian(graph))
+        assert estimates.size == graph.num_nodes
+        # low spectrum recovered within a couple of QPE bins
+        bin_width = backend.lambda_scale / 2**7
+        assert abs(estimates[0] - exact[0]) < 4 * bin_width
+        assert abs(estimates[1] - exact[1]) < 4 * bin_width
+
+    def test_result_fields(self):
+        graph, _ = strong_sbm(2, num_nodes=24, seed=6)
+        histogram, backend = self.histogram_for(graph)
+        result = estimate_num_clusters_quantum(
+            histogram, graph.num_nodes, 7, backend.lambda_scale
+        )
+        assert result.gaps.size == result.eigenvalue_estimates.size - 1
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ClusteringError):
+            eigenvalues_from_histogram(np.zeros(16), 4, 4, 2.125)
+
+    def test_invalid_window_rejected(self):
+        graph, _ = strong_sbm(2, num_nodes=24, seed=7)
+        histogram, backend = self.histogram_for(graph)
+        with pytest.raises(ClusteringError):
+            estimate_num_clusters_quantum(
+                histogram, graph.num_nodes, 7, backend.lambda_scale, k_min=50
+            )
+
+
+class TestAnsatz:
+    def test_parameter_count_checked(self):
+        with pytest.raises(ConvergenceError):
+            hardware_efficient_ansatz(2, np.zeros(3), layers=1)
+
+    def test_state_is_normalized(self):
+        params = np.linspace(0, 1, 2 * 2 * 3)
+        state = ansatz_state(2, params, layers=2)
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+    def test_zero_parameters_give_zero_state(self):
+        params = np.zeros(2 * 2 * 2)
+        state = ansatz_state(2, params, layers=1)
+        assert np.isclose(abs(state[0]), 1.0)
+
+    def test_expressibility_reaches_entangled_states(self):
+        # some parameter settings must produce entanglement
+        rng = np.random.default_rng(0)
+        found_entangled = False
+        for _ in range(10):
+            params = rng.uniform(-np.pi, np.pi, 2 * 2 * 3)
+            state = ansatz_state(2, params, layers=2).reshape(2, 2)
+            singular_values = np.linalg.svd(state, compute_uv=False)
+            if singular_values[1] > 0.1:
+                found_entangled = True
+                break
+        assert found_entangled
+
+
+class TestVQE:
+    def test_ground_state_of_diagonal(self):
+        matrix = np.diag([3.0, -1.0, 2.0, 1.0]).astype(complex)
+        solver = VQESolver(layers=2, max_iterations=200, seed=1)
+        result = solver.solve(matrix, k=1)
+        assert abs(result.eigenvalues[0] - (-1.0)) < 0.05
+
+    def test_deflation_finds_second_state(self):
+        graph, _ = strong_sbm(2, num_nodes=4, seed=2)
+        laplacian = hermitian_laplacian(graph)
+        solver = VQESolver(layers=2, max_iterations=200, seed=3)
+        result = solver.solve(laplacian, k=2)
+        exact = np.linalg.eigvalsh(laplacian)[:2]
+        assert np.allclose(result.eigenvalues, exact, atol=0.08)
+
+    def test_vectors_near_eigenvectors(self):
+        matrix = np.diag([0.0, 1.0]).astype(complex)
+        solver = VQESolver(layers=1, max_iterations=150, seed=4)
+        result = solver.solve(matrix, k=1)
+        assert abs(result.eigenvectors[0, 0]) > 0.98
+
+    def test_validation(self):
+        solver = VQESolver(layers=1, max_iterations=10)
+        with pytest.raises(ConvergenceError):
+            solver.solve(np.array([[0, 1], [0, 0]], dtype=complex))
+        with pytest.raises(ConvergenceError):
+            solver.solve(np.eye(3))
+        with pytest.raises(ConvergenceError):
+            VQESolver(layers=0)
+
+    def test_history_recorded(self):
+        matrix = np.diag([1.0, 0.0]).astype(complex)
+        result = VQESolver(layers=1, max_iterations=50, seed=5).solve(matrix)
+        assert result.energy_history.size > 0
+        assert result.iterations >= result.energy_history.size

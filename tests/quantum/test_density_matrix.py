@@ -1,0 +1,163 @@
+"""Tests for the density-matrix simulator and noise channels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import CircuitError
+from repro.quantum import gates
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import (
+    DensityMatrix,
+    amplitude_damping_kraus,
+    bitflip_kraus,
+    depolarizing_kraus,
+    noisy_circuit_density,
+    phase_damping_kraus,
+)
+from repro.quantum.noise import NoiseModel, noisy_run
+
+
+class TestConstruction:
+    def test_from_int(self):
+        rho = DensityMatrix(2)
+        assert rho.dim == 4
+        assert np.isclose(rho.trace(), 1.0)
+        assert np.isclose(rho.purity(), 1.0)
+
+    def test_from_statevector(self):
+        psi = np.array([1.0, 1.0]) / np.sqrt(2)
+        rho = DensityMatrix(psi)
+        assert np.allclose(rho.matrix, 0.5 * np.ones((2, 2)))
+
+    def test_from_matrix_validated(self):
+        with pytest.raises(CircuitError):
+            DensityMatrix(np.eye(2))  # trace 2
+        with pytest.raises(CircuitError):
+            DensityMatrix(np.array([[0.5, 0.5], [0.0, 0.5]]))  # not Hermitian
+        with pytest.raises(CircuitError):
+            DensityMatrix(np.eye(3) / 3)  # not power-of-two
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(CircuitError):
+            DensityMatrix(np.zeros(2))
+
+    def test_maximally_mixed_purity(self):
+        rho = DensityMatrix(np.eye(4) / 4)
+        assert np.isclose(rho.purity(), 0.25)
+
+
+class TestUnitaryEvolution:
+    def test_x_on_single_qubit(self):
+        rho = DensityMatrix(1)
+        rho.apply_unitary(gates.X)
+        assert np.isclose(rho.probabilities()[1], 1.0)
+
+    def test_embedded_gate_matches_statevector(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 2).rz(0.4, 1).swap(1, 2)
+        sv = qc.statevector()
+        rho = DensityMatrix(3)
+        rho.run_circuit(qc)
+        expected = np.outer(sv.amplitudes, sv.amplitudes.conj())
+        assert np.allclose(rho.matrix, expected, atol=1e-10)
+
+    def test_embedding_respects_qubit_order(self):
+        rho = DensityMatrix(2)
+        rho.apply_unitary(gates.X, [1])  # flip LSB
+        assert np.isclose(rho.probabilities()[0b01], 1.0)
+
+    def test_trace_preserved(self):
+        rho = DensityMatrix(2)
+        rho.apply_unitary(gates.controlled(gates.X), [0, 1])
+        assert np.isclose(rho.trace(), 1.0)
+
+    def test_expectation(self):
+        rho = DensityMatrix(1)
+        assert np.isclose(rho.expectation(gates.Z), 1.0)
+
+    def test_fidelity_with_pure(self):
+        rho = DensityMatrix(1)
+        rho.apply_unitary(gates.H)
+        plus = np.array([1.0, 1.0]) / np.sqrt(2)
+        assert np.isclose(rho.fidelity_with_pure(plus), 1.0)
+
+
+class TestChannels:
+    @given(rate=st.floats(0.0, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_all_channels_trace_preserving(self, rate):
+        for factory in (
+            depolarizing_kraus,
+            bitflip_kraus,
+            phase_damping_kraus,
+            amplitude_damping_kraus,
+        ):
+            operators = factory(rate)
+            completeness = sum(k.conj().T @ k for k in operators)
+            assert np.allclose(completeness, np.eye(2), atol=1e-10)
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        rho = DensityMatrix(1)
+        # repeated 3/4-depolarizing converges to I/2
+        for _ in range(50):
+            rho.apply_kraus(depolarizing_kraus(0.75), [0])
+        assert np.allclose(rho.matrix, np.eye(2) / 2, atol=1e-6)
+
+    def test_bitflip_mixes_population(self):
+        rho = DensityMatrix(1)
+        rho.apply_kraus(bitflip_kraus(0.3), [0])
+        assert np.isclose(rho.probabilities()[1], 0.3)
+
+    def test_phase_damping_kills_coherence(self):
+        rho = DensityMatrix(np.array([1.0, 1.0]) / np.sqrt(2))
+        rho.apply_kraus(phase_damping_kraus(1.0), [0])
+        assert np.isclose(abs(rho.matrix[0, 1]), 0.0, atol=1e-12)
+        # populations untouched
+        assert np.allclose(rho.probabilities(), [0.5, 0.5])
+
+    def test_amplitude_damping_decays_to_ground(self):
+        rho = DensityMatrix(np.array([0.0, 1.0]))
+        rho.apply_kraus(amplitude_damping_kraus(1.0), [0])
+        assert np.isclose(rho.probabilities()[0], 1.0)
+
+    def test_invalid_kraus_rejected(self):
+        rho = DensityMatrix(1)
+        with pytest.raises(CircuitError):
+            rho.apply_kraus([gates.X * 2.0], [0])
+        with pytest.raises(CircuitError):
+            rho.apply_kraus([], [0])
+
+    def test_channel_on_one_qubit_of_two(self):
+        rho = DensityMatrix(2)
+        rho.apply_unitary(gates.H, [0])
+        rho.apply_unitary(gates.controlled(gates.X), [0, 1])
+        rho.apply_kraus(depolarizing_kraus(1.0), [0])
+        assert np.isclose(rho.trace(), 1.0)
+        assert rho.purity() < 1.0
+
+
+class TestTrajectoryAgreement:
+    def test_monte_carlo_converges_to_exact_channel(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        rate = 0.15
+        exact = noisy_circuit_density(qc, rate)
+        trials = 3000
+        rng = np.random.default_rng(0)
+        accumulated = np.zeros(4)
+        for _ in range(trials):
+            sv = noisy_run(qc, NoiseModel(depolarizing_rate=rate), seed=rng)
+            accumulated += sv.probabilities()
+        empirical = accumulated / trials
+        assert np.abs(empirical - exact.probabilities()).max() < 0.03
+
+    def test_noiseless_density_matches_pure(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        rho = noisy_circuit_density(qc, 0.0)
+        assert np.isclose(rho.purity(), 1.0)
+        assert np.allclose(rho.probabilities(), [0.5, 0, 0, 0.5])
+
+    def test_marginal_probabilities(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        rho = noisy_circuit_density(qc, 0.0)
+        assert np.allclose(rho.marginal_probabilities([0]), [0.5, 0.5])
+        assert np.allclose(rho.marginal_probabilities([1]), [0.5, 0.5])

@@ -1,0 +1,178 @@
+"""Tests for the statevector simulation backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import CircuitError, QubitError
+from repro.quantum import gates
+from repro.quantum.statevector import Statevector, basis_state, uniform_superposition
+
+
+def random_state(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    amps = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return Statevector(amps / np.linalg.norm(amps))
+
+
+class TestConstruction:
+    def test_int_constructor_gives_zero_state(self):
+        sv = Statevector(3)
+        assert sv.num_qubits == 3
+        assert sv.amplitudes[0] == 1.0
+        assert np.count_nonzero(sv.amplitudes) == 1
+
+    def test_vector_constructor_validates_norm(self):
+        with pytest.raises(CircuitError):
+            Statevector(np.array([1.0, 1.0]))
+
+    def test_vector_constructor_validates_power_of_two(self):
+        with pytest.raises(CircuitError):
+            Statevector(np.ones(3) / np.sqrt(3))
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Statevector(0)
+
+    def test_copy_is_independent(self):
+        sv = Statevector(2)
+        clone = sv.copy()
+        clone.apply_gate(gates.X, [0])
+        assert sv.amplitudes[0] == 1.0
+
+
+class TestGateApplication:
+    def test_x_flips_msb_qubit0(self):
+        sv = Statevector(2)
+        sv.apply_gate(gates.X, [0])
+        # qubit 0 is the most significant bit: |10> has index 2
+        assert np.isclose(abs(sv.amplitudes[2]), 1.0)
+
+    def test_x_flips_lsb_qubit1(self):
+        sv = Statevector(2)
+        sv.apply_gate(gates.X, [1])
+        assert np.isclose(abs(sv.amplitudes[1]), 1.0)
+
+    def test_bell_state(self):
+        sv = Statevector(2)
+        sv.apply_gate(gates.H, [0])
+        sv.apply_gate(gates.controlled(gates.X), [0, 1])
+        probs = sv.probabilities()
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_two_qubit_gate_order_matters(self):
+        # CNOT with control=1, target=0 on |01> flips to |11>
+        sv = basis_state(2, 0b01)
+        sv.apply_gate(gates.controlled(gates.X), [1, 0])
+        assert np.isclose(abs(sv.amplitudes[0b11]), 1.0)
+
+    def test_gate_shape_mismatch_raises(self):
+        sv = Statevector(2)
+        with pytest.raises(CircuitError):
+            sv.apply_gate(gates.SWAP, [0])
+
+    def test_out_of_range_qubit_raises(self):
+        sv = Statevector(2)
+        with pytest.raises(QubitError):
+            sv.apply_gate(gates.X, [5])
+
+    def test_duplicate_qubits_raise(self):
+        sv = Statevector(2)
+        with pytest.raises(QubitError):
+            sv.apply_gate(gates.SWAP, [1, 1])
+
+    @given(seed=st.integers(0, 100), qubit=st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_unitarity_preserves_norm(self, seed, qubit):
+        sv = random_state(3, seed)
+        sv.apply_gate(gates.u3(0.3 * seed, 0.2, 1.1), [qubit])
+        assert np.isclose(sv.norm(), 1.0)
+
+    def test_apply_full_unitary_matches_gate(self):
+        sv1, sv2 = random_state(2, 7), random_state(2, 7)
+        full = np.kron(gates.H, np.eye(2))
+        sv1.apply_unitary(full)
+        sv2.apply_gate(gates.H, [0])
+        assert np.allclose(sv1.amplitudes, sv2.amplitudes)
+
+    def test_swap_gate_consistency(self):
+        sv = random_state(3, 11)
+        swapped = sv.copy()
+        swapped.apply_gate(gates.SWAP, [0, 2])
+        tensor = sv.amplitudes.reshape(2, 2, 2)
+        assert np.allclose(
+            swapped.amplitudes, np.transpose(tensor, (2, 1, 0)).ravel()
+        )
+
+
+class TestMeasurement:
+    def test_marginal_of_bell_state(self):
+        sv = Statevector(2)
+        sv.apply_gate(gates.H, [0])
+        sv.apply_gate(gates.controlled(gates.X), [0, 1])
+        assert np.allclose(sv.marginal_probabilities([0]), [0.5, 0.5])
+        assert np.allclose(sv.marginal_probabilities([1]), [0.5, 0.5])
+
+    def test_marginal_respects_requested_order(self):
+        # |01>: qubit0=0, qubit1=1
+        sv = basis_state(2, 0b01)
+        assert np.allclose(sv.marginal_probabilities([0, 1]), [0, 1, 0, 0])
+        assert np.allclose(sv.marginal_probabilities([1, 0]), [0, 0, 1, 0])
+
+    def test_measurement_collapses(self):
+        sv = Statevector(2)
+        sv.apply_gate(gates.H, [0])
+        sv.apply_gate(gates.controlled(gates.X), [0, 1])
+        outcome, collapsed = sv.measure_qubits([0], seed=0)
+        # After measuring qubit 0 of a Bell pair, qubit 1 must agree.
+        other = collapsed.marginal_probabilities([1])
+        assert np.isclose(other[outcome], 1.0)
+
+    def test_sample_counts_total(self):
+        sv = uniform_superposition(3)
+        counts = sv.sample_counts(1000, seed=1)
+        assert sum(counts.values()) == 1000
+
+    def test_sample_counts_deterministic_state(self):
+        sv = basis_state(3, 5)
+        counts = sv.sample_counts(64, seed=2)
+        assert counts == {5: 64}
+
+    def test_sample_counts_statistics(self):
+        sv = Statevector(1)
+        sv.apply_gate(gates.ry(2 * np.arcsin(np.sqrt(0.3))), [0])
+        counts = sv.sample_counts(20000, seed=3)
+        assert abs(counts.get(1, 0) / 20000 - 0.3) < 0.02
+
+    def test_expectation_z(self):
+        sv = Statevector(1)
+        assert np.isclose(sv.expectation(gates.Z), 1.0)
+        sv.apply_gate(gates.X, [0])
+        assert np.isclose(sv.expectation(gates.Z), -1.0)
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(CircuitError):
+            Statevector(1).sample_counts(-1)
+
+
+class TestHelpers:
+    def test_basis_state_bounds(self):
+        with pytest.raises(CircuitError):
+            basis_state(2, 4)
+
+    def test_uniform_superposition_probs(self):
+        sv = uniform_superposition(4)
+        assert np.allclose(sv.probabilities(), 1 / 16)
+
+    def test_fidelity_self_is_one(self):
+        sv = random_state(3, 5)
+        assert np.isclose(sv.fidelity(sv), 1.0)
+
+    def test_fidelity_orthogonal_states(self):
+        assert np.isclose(basis_state(2, 0).fidelity(basis_state(2, 3)), 0.0)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_sum_to_one(self, seed):
+        sv = random_state(3, seed)
+        assert np.isclose(sv.probabilities().sum(), 1.0)

@@ -1,0 +1,110 @@
+"""Tests for the Nyström and label-propagation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LabelPropagationClustering,
+    NystromSpectralClustering,
+    label_propagation,
+    nystrom_embedding,
+)
+from repro.exceptions import ClusteringError
+from repro.graphs import MixedGraph, ensure_connected, mixed_sbm
+from repro.metrics import adjusted_rand_index
+
+
+def strong_sbm(n=60, k=2, seed=0):
+    graph, truth = mixed_sbm(n, k, p_intra=0.5, p_inter=0.02, seed=seed)
+    ensure_connected(graph, seed=seed)
+    return graph, truth
+
+
+class TestNystrom:
+    def test_recovers_strong_clusters(self):
+        graph, truth = strong_sbm()
+        result = NystromSpectralClustering(2, num_landmarks=24, seed=0).fit(graph)
+        assert adjusted_rand_index(truth, result.labels) > 0.85
+
+    def test_embedding_shape(self):
+        graph, _ = strong_sbm()
+        embedding = nystrom_embedding(graph, 2, 16, seed=0)
+        assert embedding.shape == (60, 2)
+
+    def test_more_landmarks_no_worse_on_average(self):
+        scores = {8: [], 40: []}
+        for seed in range(5):
+            graph, truth = strong_sbm(seed=seed)
+            for landmarks in (8, 40):
+                result = NystromSpectralClustering(
+                    2, num_landmarks=landmarks, seed=seed
+                ).fit(graph)
+                scores[landmarks].append(
+                    adjusted_rand_index(truth, result.labels)
+                )
+        assert np.mean(scores[40]) >= np.mean(scores[8]) - 0.05
+
+    def test_landmark_validation(self):
+        graph, _ = strong_sbm()
+        with pytest.raises(ClusteringError):
+            nystrom_embedding(graph, 5, 3)
+        with pytest.raises(ClusteringError):
+            nystrom_embedding(graph, 2, 100)
+
+    def test_default_landmark_budget(self):
+        graph, truth = strong_sbm()
+        result = NystromSpectralClustering(2, seed=0).fit(graph)
+        assert result.labels.shape == (60,)
+        assert result.method == "nystrom"
+
+    def test_invalid_k(self):
+        with pytest.raises(ClusteringError):
+            NystromSpectralClustering(0)
+
+
+class TestLabelPropagation:
+    def test_recovers_strong_clusters(self):
+        graph, truth = strong_sbm()
+        labels = label_propagation(graph, seed=0)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_labels_compacted(self):
+        graph, _ = strong_sbm()
+        labels = label_propagation(graph, seed=1)
+        assert labels.min() == 0
+        assert set(labels) == set(range(labels.max() + 1))
+
+    def test_disconnected_components_get_distinct_labels(self):
+        graph = MixedGraph(6)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        graph.add_edge(4, 5)
+        labels = label_propagation(graph, seed=0)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_isolated_nodes_keep_own_labels(self):
+        graph = MixedGraph(3)
+        graph.add_edge(0, 1)
+        labels = label_propagation(graph, seed=0)
+        assert labels[2] not in (labels[0],)
+
+    def test_estimator_wrapper(self):
+        graph, truth = strong_sbm()
+        result = LabelPropagationClustering(seed=0).fit(graph)
+        assert result.method == "label-propagation"
+        assert result.num_communities >= 1
+        assert adjusted_rand_index(truth, result.labels) > 0.9
+
+    def test_max_sweeps_validated(self):
+        graph, _ = strong_sbm()
+        with pytest.raises(ClusteringError):
+            label_propagation(graph, max_sweeps=0)
+
+    def test_deterministic_with_seed(self):
+        graph, _ = strong_sbm()
+        a = label_propagation(graph, seed=42)
+        b = label_propagation(graph, seed=42)
+        assert np.array_equal(a, b)

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import io as graph_io
+from repro.graphs import mixed_sbm
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    graph, labels = mixed_sbm(24, 2, p_intra=0.6, p_inter=0.04, seed=0)
+    path = tmp_path / "graph.mixed"
+    graph_io.save(graph, path)
+    return str(path), labels
+
+
+class TestClusterCommand:
+    def test_quantum_cluster(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            [
+                "cluster",
+                "--input",
+                path,
+                "--clusters",
+                "2",
+                "--shots",
+                "256",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("labels:")
+        assert "cut_weight:" in out
+
+    def test_classical_cluster(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            ["cluster", "--input", path, "--clusters", "2", "--method", "classical"]
+        )
+        assert code == 0
+        assert "modularity:" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, capsys):
+        code = main(["cluster", "--input", "/nonexistent.mixed", "--clusters", "2"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_auto_clusters(self, graph_file, capsys):
+        path, truth = graph_file
+        code = main(
+            [
+                "cluster",
+                "--input",
+                path,
+                "--clusters",
+                "auto",
+                "--shots",
+                "256",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        labels = [int(tok) for tok in out.splitlines()[0].split()[1:]]
+        assert len(set(labels)) == len(set(truth))
+
+    def test_auto_clusters_classical_rejected(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            [
+                "cluster",
+                "--input",
+                path,
+                "--clusters",
+                "auto",
+                "--method",
+                "classical",
+            ]
+        )
+        assert code == 1
+        assert "quantum" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_generate_flow_graph(self, tmp_path, capsys):
+        out_path = tmp_path / "flow.mixed"
+        labels_path = tmp_path / "labels.txt"
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "flow",
+                "--nodes",
+                "30",
+                "--clusters",
+                "3",
+                "--output",
+                str(out_path),
+                "--labels-output",
+                str(labels_path),
+            ]
+        )
+        assert code == 0
+        graph = graph_io.load(out_path)
+        assert graph.num_nodes == 30
+        labels = np.loadtxt(labels_path, dtype=int)
+        assert labels.size == 30
+
+    def test_generate_random(self, tmp_path):
+        out_path = tmp_path / "r.mixed"
+        assert main(["generate", "--kind", "random", "--output", str(out_path)]) == 0
+        assert graph_io.load(out_path).num_nodes == 60
+
+
+class TestBenchCommand:
+    def test_c17(self, capsys):
+        code = main(["bench", "--name", "c17", "--clusters", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition 0:" in out and "partition 1:" in out
+
+
+class TestSpectrumCommand:
+    def test_prints_low_spectrum(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(["spectrum", "--input", path, "--top", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("lambda_") == 4
+        first = float(out.splitlines()[0].split("=")[1])
+        assert first >= -1e-9

@@ -1,0 +1,85 @@
+"""Tests for RNG and linear-algebra utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    ensure_rng,
+    frobenius_distance,
+    is_hermitian,
+    is_psd,
+    is_unitary,
+    next_power_of_two,
+    num_qubits_for,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_ensure_rng_from_int_reproducible(self):
+        assert ensure_rng(5).integers(1000) == ensure_rng(5).integers(1000)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        first = [r.integers(10**9) for r in spawn_rngs(3, 4)]
+        second = [r.integers(10**9) for r in spawn_rngs(3, 4)]
+        assert first == second
+        assert len(set(first)) == 4  # streams differ from one another
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestLinalgPredicates:
+    def test_is_hermitian(self):
+        assert is_hermitian(np.array([[1, 1j], [-1j, 2]]))
+        assert not is_hermitian(np.array([[1, 1], [0, 1]]))
+        assert not is_hermitian(np.ones((2, 3)))
+
+    def test_is_unitary(self):
+        assert is_unitary(np.eye(3))
+        theta = 0.3
+        rotation = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        assert is_unitary(rotation)
+        assert not is_unitary(2 * np.eye(2))
+
+    def test_is_psd(self):
+        assert is_psd(np.eye(2))
+        assert not is_psd(np.diag([1.0, -1.0]))
+        assert not is_psd(np.array([[0, 1], [0, 0]]))
+
+    @given(st.integers(1, 10**6))
+    def test_next_power_of_two(self, value):
+        power = next_power_of_two(value)
+        assert power >= value
+        assert power & (power - 1) == 0
+        assert power < 2 * value
+
+    def test_next_power_of_two_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    def test_num_qubits_for(self):
+        assert num_qubits_for(2) == 1
+        assert num_qubits_for(5) == 3
+        assert num_qubits_for(8) == 3
+
+    def test_frobenius_distance(self):
+        assert frobenius_distance(np.eye(2), np.eye(2)) == 0.0
+        assert np.isclose(
+            frobenius_distance(np.zeros((2, 2)), np.eye(2)), np.sqrt(2)
+        )
