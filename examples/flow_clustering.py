@@ -70,10 +70,10 @@ def main():
         num_stages, QSCConfig(precision_bits=7, shots=1024, seed=99)
     ).fit(graph)
     print(
-        f"\nat strength 1.0 the found partition has flow_ratio="
+        "\nat strength 1.0 the found partition has flow_ratio="
         f"{flow_ratio(graph, result.labels):.2f} (1.0 = all boundary arcs "
         f"agree) and cut_imbalance={cut_imbalance(graph, result.labels):.2f} "
-        f"(0.5 = perfectly one-directional)"
+        "(0.5 = perfectly one-directional)"
     )
 
 

@@ -11,6 +11,7 @@ Subpackages
 -----------
 ``repro.quantum``     from-scratch quantum simulator substrate
 ``repro.graphs``      mixed graphs, Hermitian Laplacians, generators, netlists
+``repro.linalg``      pluggable dense/sparse linear-algebra backends
 ``repro.spectral``    classical eigensolvers, embeddings, k-means
 ``repro.core``        the quantum pipeline (QPE filtering + q-means)
 ``repro.baselines``   symmetrized / random-walk / DiSim / naive baselines
@@ -34,6 +35,12 @@ from repro.graphs import (
     parse_bench,
     random_mixed_graph,
     synthetic_netlist,
+)
+from repro.linalg import (
+    DenseBackend,
+    SparseBackend,
+    as_backend_matrix,
+    resolve_backend,
 )
 from repro.spectral import (
     ClassicalSpectralClustering,
@@ -70,6 +77,10 @@ __all__ = [
     "parse_bench",
     "random_mixed_graph",
     "synthetic_netlist",
+    "DenseBackend",
+    "SparseBackend",
+    "as_backend_matrix",
+    "resolve_backend",
     "ClassicalSpectralClustering",
     "classical_spectral_clustering",
     "AdjacencyKMeans",

@@ -8,6 +8,7 @@ from repro.baselines.rw_laplacian import (
     RandomWalkSpectralClustering,
     chung_laplacian,
     stationary_distribution,
+    stationary_distribution_sparse,
     transition_matrix,
 )
 from repro.baselines.disim import DiSimClustering, disim_embedding
@@ -30,6 +31,7 @@ __all__ = [
     "RandomWalkSpectralClustering",
     "chung_laplacian",
     "stationary_distribution",
+    "stationary_distribution_sparse",
     "transition_matrix",
     "DiSimClustering",
     "disim_embedding",

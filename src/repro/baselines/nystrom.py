@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ClusteringError
 from repro.graphs.mixed_graph import MixedGraph
+from repro.linalg import is_sparse_matrix, resolve_backend
 from repro.spectral.clustering import ClusteringResult
 from repro.spectral.embedding import row_normalize
 from repro.spectral.kmeans import kmeans
@@ -30,6 +31,7 @@ def nystrom_embedding(
     num_landmarks: int,
     seed=None,
     regularization: float = 1e-8,
+    backend="dense",
 ) -> np.ndarray:
     """Approximate spectral embedding from a landmark sample.
 
@@ -45,6 +47,11 @@ def nystrom_embedding(
         Landmark-sampling seed.
     regularization:
         Ridge term stabilizing the landmark-block inversion.
+    backend:
+        ``repro.linalg`` backend spec.  Nyström only ever eigensolves the
+        dense l × l landmark block; the sparse route keeps the n × n
+        affinity in CSR and densifies just the n × l cross block, so the
+        landmark math is bit-identical across backends.
 
     Returns
     -------
@@ -58,15 +65,20 @@ def nystrom_embedding(
             f"{num_clusters}, {num_landmarks}, {n}"
         )
     rng = ensure_rng(seed)
-    adjacency = graph.symmetrized_adjacency()
+    be = resolve_backend(backend, n)
+    adjacency = graph.symmetrized_adjacency(backend=be)
     # normalized affinity D^{-1/2} A D^{-1/2}: its TOP eigenvectors equal
     # the Laplacian's BOTTOM ones
-    degrees = np.maximum(adjacency.sum(axis=1), 1e-12)
+    degrees = np.maximum(np.asarray(adjacency.sum(axis=1)).ravel(), 1e-12)
     scale = 1.0 / np.sqrt(degrees)
-    affinity = scale[:, None] * adjacency * scale[None, :]
+    affinity = be.scale_columns(be.scale_rows(adjacency, scale), scale)
     landmarks = np.sort(rng.choice(n, size=num_landmarks, replace=False))
-    block = affinity[np.ix_(landmarks, landmarks)]
-    cross = affinity[:, landmarks]
+    if is_sparse_matrix(affinity):
+        cross = affinity[:, landmarks].toarray()
+        block = cross[landmarks, :]
+    else:
+        block = affinity[np.ix_(landmarks, landmarks)]
+        cross = affinity[:, landmarks]
     values, vectors = np.linalg.eigh(
         block + regularization * np.eye(num_landmarks)
     )
@@ -88,6 +100,9 @@ class NystromSpectralClustering:
         k.
     num_landmarks:
         Landmark sample size (default 4·k·log(k+1) rounded, min 4k).
+    backend:
+        ``repro.linalg`` backend spec forwarded to
+        :func:`nystrom_embedding`.
     seed:
         RNG seed for sampling and k-means.
     """
@@ -97,6 +112,7 @@ class NystromSpectralClustering:
         num_clusters: int,
         num_landmarks: int | None = None,
         kmeans_restarts: int = 4,
+        backend="auto",
         seed=None,
     ):
         if num_clusters < 1:
@@ -104,6 +120,7 @@ class NystromSpectralClustering:
         self.num_clusters = num_clusters
         self.num_landmarks = num_landmarks
         self.kmeans_restarts = kmeans_restarts
+        self.backend = backend
         self.seed = seed
 
     def fit(self, graph: MixedGraph) -> ClusteringResult:
@@ -114,7 +131,11 @@ class NystromSpectralClustering:
         landmarks = min(landmarks, graph.num_nodes)
         embedding = row_normalize(
             nystrom_embedding(
-                graph, self.num_clusters, landmarks, seed=self.seed
+                graph,
+                self.num_clusters,
+                landmarks,
+                seed=self.seed,
+                backend=self.backend,
             )
         )
         km = kmeans(

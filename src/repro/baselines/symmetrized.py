@@ -12,18 +12,27 @@ import numpy as np
 
 from repro.exceptions import ClusteringError
 from repro.graphs.mixed_graph import MixedGraph
+from repro.linalg import resolve_backend
 from repro.spectral.clustering import ClusteringResult
-from repro.spectral.eigensolvers import dense_lowest_eigenpairs
+from repro.spectral.eigensolvers import lowest_eigenpairs
 from repro.spectral.embedding import row_normalize
 from repro.spectral.kmeans import kmeans
 
 
-def symmetrized_laplacian(graph: MixedGraph, regularization: float = 1e-12):
-    """Normalized Laplacian I − D^{−1/2} A_sym D^{−1/2} of the symmetrized graph."""
-    adjacency = graph.symmetrized_adjacency()
-    degrees = adjacency.sum(axis=1)
+def symmetrized_laplacian(
+    graph: MixedGraph, regularization: float = 1e-12, backend="dense"
+):
+    """Normalized Laplacian I − D^{−1/2} A_sym D^{−1/2} of the symmetrized graph.
+
+    ``backend`` follows the ``repro.linalg`` contract; the sparse route
+    assembles CSR directly from the edge arrays.
+    """
+    be = resolve_backend(backend, graph.num_nodes)
+    adjacency = graph.symmetrized_adjacency(backend=be)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
     scale = 1.0 / np.sqrt(np.maximum(degrees, regularization))
-    return np.eye(graph.num_nodes) - scale[:, None] * adjacency * scale[None, :]
+    identity = be.identity(graph.num_nodes, dtype=float)
+    return identity - be.scale_columns(be.scale_rows(adjacency, scale), scale)
 
 
 class SymmetrizedSpectralClustering:
@@ -33,21 +42,32 @@ class SymmetrizedSpectralClustering:
     ----------
     num_clusters:
         Number of clusters k.
+    backend:
+        ``repro.linalg`` backend spec (``"auto"`` scales to sparse for
+        large graphs).
     seed:
         RNG seed for k-means.
     """
 
-    def __init__(self, num_clusters: int, kmeans_restarts: int = 4, seed=None):
+    def __init__(
+        self,
+        num_clusters: int,
+        kmeans_restarts: int = 4,
+        backend="auto",
+        seed=None,
+    ):
         if num_clusters < 1:
             raise ClusteringError(f"num_clusters must be >= 1, got {num_clusters}")
         self.num_clusters = num_clusters
         self.kmeans_restarts = kmeans_restarts
+        self.backend = backend
         self.seed = seed
 
     def fit(self, graph: MixedGraph) -> ClusteringResult:
         """Cluster the symmetrized graph."""
-        laplacian = symmetrized_laplacian(graph)
-        _, vectors = dense_lowest_eigenpairs(laplacian, self.num_clusters)
+        be = resolve_backend(self.backend, graph.num_nodes)
+        laplacian = symmetrized_laplacian(graph, backend=be)
+        _, vectors = lowest_eigenpairs(laplacian, self.num_clusters, backend=be)
         embedding = row_normalize(vectors.real)
         km = kmeans(
             embedding,

@@ -10,6 +10,13 @@
 Graphs travel in the edge-list format of ``repro.graphs.io``.  Every
 subcommand prints plain text to stdout and exits non-zero on error, so the
 tool scripts cleanly.
+
+``--backend {auto,dense,sparse}`` selects the linear-algebra
+representation (see ``repro.linalg``): ``auto`` keeps small graphs on the
+exact dense path and switches large ones to sparse CSR + Lanczos, which is
+what lets ``cluster --method classical`` handle 10k-node graphs.  The QPE
+statistics engine is chosen separately via ``--qpe-backend
+{analytic,circuit}``.
 """
 
 from __future__ import annotations
@@ -30,9 +37,11 @@ from repro.graphs import (
     load_s27,
     mixed_sbm,
     random_mixed_graph,
+    sparse_mixed_sbm,
 )
+from repro.linalg import BACKEND_NAMES
 from repro.metrics import partition_summary
-from repro.spectral import ClassicalSpectralClustering
+from repro.spectral import ClassicalSpectralClustering, lowest_eigenpairs
 
 BENCHES = {"c17": load_c17, "s27": load_s27}
 
@@ -61,7 +70,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default="quantum",
     )
     cluster.add_argument(
-        "--backend", choices=("analytic", "circuit"), default="analytic"
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="linear-algebra backend: auto (size-based), dense, or sparse",
+    )
+    cluster.add_argument(
+        "--qpe-backend",
+        choices=("analytic", "circuit"),
+        default="analytic",
+        help="QPE statistics engine for --method quantum",
     )
     cluster.add_argument("--precision-bits", type=int, default=7)
     cluster.add_argument("--shots", type=int, default=1024)
@@ -70,7 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     generate = sub.add_parser("generate", help="generate a synthetic graph")
     generate.add_argument(
-        "--kind", choices=("mixed", "flow", "random"), default="mixed"
+        "--kind", choices=("mixed", "flow", "random", "sparse"), default="mixed"
     )
     generate.add_argument("--nodes", type=int, default=60)
     generate.add_argument("--clusters", type=int, default=2)
@@ -91,6 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
     spectrum.add_argument("--input", required=True)
     spectrum.add_argument("--top", type=int, default=8)
     spectrum.add_argument("--theta", type=float, default=float(np.pi / 2))
+    spectrum.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="linear-algebra backend for the eigensolve",
+    )
     return parser
 
 
@@ -98,7 +122,8 @@ def _cmd_cluster(args) -> int:
     graph = graph_io.load(args.input)
     if args.method == "quantum":
         config = QSCConfig(
-            backend=args.backend,
+            backend=args.qpe_backend,
+            linalg_backend=args.backend,
             precision_bits=args.precision_bits,
             shots=args.shots,
             theta=args.theta,
@@ -112,9 +137,9 @@ def _cmd_cluster(args) -> int:
                 "native selection)"
             )
         result = ClassicalSpectralClustering(
-            args.clusters, theta=args.theta, seed=args.seed
+            args.clusters, theta=args.theta, backend=args.backend, seed=args.seed
         ).fit(graph)
-    print("labels:", " ".join(str(int(l)) for l in result.labels))
+    print("labels:", " ".join(str(int(label)) for label in result.labels))
     summary = partition_summary(graph, result.labels)
     for key, value in summary.items():
         print(f"{key}: {value:.4f}")
@@ -130,6 +155,10 @@ def _cmd_generate(args) -> int:
         graph, labels = cyclic_flow_sbm(
             args.nodes, args.clusters, seed=args.seed
         )
+    elif args.kind == "sparse":
+        graph, labels = sparse_mixed_sbm(
+            args.nodes, args.clusters, seed=args.seed
+        )
     else:
         graph = random_mixed_graph(args.nodes, seed=args.seed)
         labels = None
@@ -138,7 +167,7 @@ def _cmd_generate(args) -> int:
     print(f"wrote {graph} to {args.output}")
     if labels is not None and args.labels_output:
         with open(args.labels_output, "w", encoding="utf-8") as handle:
-            handle.write(" ".join(str(int(l)) for l in labels) + "\n")
+            handle.write(" ".join(str(int(label)) for label in labels) + "\n")
         print(f"wrote labels to {args.labels_output}")
     return 0
 
@@ -167,9 +196,9 @@ def _cmd_bench(args) -> int:
 
 def _cmd_spectrum(args) -> int:
     graph = graph_io.load(args.input)
-    laplacian = hermitian_laplacian(graph, theta=args.theta)
-    values = np.linalg.eigvalsh(laplacian)
-    top = min(args.top, values.size)
+    laplacian = hermitian_laplacian(graph, theta=args.theta, backend=args.backend)
+    top = min(args.top, graph.num_nodes)
+    values, _ = lowest_eigenpairs(laplacian, top)
     for index in range(top):
         print(f"lambda_{index + 1} = {values[index]:.6f}")
     return 0

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.exceptions import ClusteringError
+from repro.linalg import BACKEND_NAMES as LINALG_BACKENDS
 
 BACKENDS = ("circuit", "analytic")
 EVOLUTIONS = ("exact", "trotter")
@@ -29,6 +30,11 @@ class QSCConfig:
     backend:
         ``"circuit"`` (full statevector QPE, n ≲ 64) or ``"analytic"``
         (closed-form QPE statistics, scales to thousands of nodes).
+    linalg_backend:
+        Matrix-representation backend for Laplacian construction:
+        ``"auto"`` (default — sparse CSR for large graphs, dense below),
+        ``"dense"``, or ``"sparse"``; see ``repro.linalg``.  Exposed on
+        the CLI as ``--backend``.
     evolution:
         ``"exact"`` Hamiltonian exponential or ``"trotter"`` product
         formula (circuit backend only).
@@ -56,6 +62,7 @@ class QSCConfig:
     shots: int = 2048
     histogram_shots: int = 4096
     backend: str = "analytic"
+    linalg_backend: str = "auto"
     evolution: str = "exact"
     trotter_steps: int = 4
     trotter_order: int = 2
@@ -77,6 +84,11 @@ class QSCConfig:
         if self.backend not in BACKENDS:
             raise ClusteringError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.linalg_backend not in LINALG_BACKENDS:
+            raise ClusteringError(
+                f"linalg_backend must be one of {LINALG_BACKENDS}, "
+                f"got {self.linalg_backend!r}"
             )
         if self.evolution not in EVOLUTIONS:
             raise ClusteringError(

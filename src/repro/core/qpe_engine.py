@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ClusteringError
+from repro.linalg import is_sparse_matrix, to_dense_array
 from repro.quantum.hamiltonian import (
     SpectralDecomposition,
     trotter_evolution,
@@ -45,13 +46,28 @@ PAD_EIGENVALUE = 2.0
 LAMBDA_SCALE = 2.125
 
 
-def pad_laplacian(laplacian: np.ndarray) -> np.ndarray:
+def pad_laplacian(laplacian):
     """Embed an n × n Laplacian into the next power-of-two dimension.
 
     Padded rows are decoupled (block diagonal) with eigenvalue
     :data:`PAD_EIGENVALUE`, i.e. top-of-spectrum — they can never leak into
     the low-eigenvalue cluster subspace.
+
+    Accepts either representation: a dense array pads into a dense array
+    (vectorized diagonal fill), a ``scipy.sparse`` matrix pads into CSR
+    without densifying.
     """
+    if is_sparse_matrix(laplacian):
+        import scipy.sparse as sparse
+
+        n = laplacian.shape[0]
+        dim = next_power_of_two(max(n, 2))
+        if dim == n:
+            return laplacian.tocsr(copy=True).astype(complex)
+        pad_block = sparse.identity(dim - n, dtype=complex) * PAD_EIGENVALUE
+        return sparse.block_diag(
+            (laplacian.astype(complex), pad_block), format="csr"
+        )
     laplacian = np.asarray(laplacian, dtype=complex)
     n = laplacian.shape[0]
     dim = next_power_of_two(max(n, 2))
@@ -59,8 +75,8 @@ def pad_laplacian(laplacian: np.ndarray) -> np.ndarray:
         return laplacian.copy()
     padded = np.zeros((dim, dim), dtype=complex)
     padded[:n, :n] = laplacian
-    for extra in range(n, dim):
-        padded[extra, extra] = PAD_EIGENVALUE
+    tail = np.arange(n, dim)
+    padded[tail, tail] = PAD_EIGENVALUE
     return padded
 
 
@@ -70,7 +86,10 @@ class AnalyticQPEBackend:
     Parameters
     ----------
     laplacian:
-        The (unpadded) Hermitian Laplacian of the graph.
+        The (unpadded) Hermitian Laplacian of the graph — dense ndarray or
+        ``scipy.sparse`` matrix (adapted through the ``repro.linalg``
+        densify adapter: the spectral decomposition below is inherently
+        dense, so sparse input costs one conversion).
     precision_bits:
         QPE ancilla bits p.
 
@@ -84,11 +103,12 @@ class AnalyticQPEBackend:
 
     name = "analytic"
 
-    def __init__(self, laplacian: np.ndarray, precision_bits: int):
+    def __init__(self, laplacian, precision_bits: int):
         if precision_bits < 1:
             raise ClusteringError(
                 f"precision_bits must be >= 1, got {precision_bits}"
             )
+        laplacian = to_dense_array(laplacian, dtype=complex)
         self.num_nodes = laplacian.shape[0]
         self.precision_bits = precision_bits
         self.lambda_scale = LAMBDA_SCALE
@@ -139,14 +159,48 @@ class AnalyticQPEBackend:
         return weights @ self._kernel
 
     def eigenvalue_histogram(self, shots: int, rng) -> np.ndarray:
-        """Sampled readout histogram with maximally mixed node input."""
+        """Sampled readout histogram with maximally mixed node input.
+
+        The mixture over nodes collapses to a single matvec: the weight of
+        eigencomponent j is Σ_{i<n} |V[i, j]|², so the loop over per-node
+        distributions is replaced by one ``weights @ kernel`` product.
+        """
         if shots < 1:
             raise ClusteringError(f"shots must be >= 1, got {shots}")
-        mixture = np.zeros(2**self.precision_bits)
-        for node in range(self.num_nodes):
-            mixture += self.node_outcome_distribution(node)
-        mixture /= self.num_nodes
+        weights = (
+            np.abs(self._eigenvectors[: self.num_nodes, :]) ** 2
+        ).sum(axis=0)
+        mixture = (weights @ self._kernel) / self.num_nodes
         return rng.multinomial(shots, mixture).astype(float)
+
+    def project_rows(
+        self, nodes, accepted: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched eigenvalue filter: all requested rows in one matmul.
+
+        Row i of the result is the normalized filtered state Π_A|e_i>
+        (zeros when the row has no mass in the subspace), paired with its
+        exact acceptance probability.  Replaces the per-row
+        :meth:`project_row` loop in the pipeline hot path — one
+        (nodes × dim) @ (dim × dim) product instead of n matvecs.
+        """
+        nodes = np.asarray(nodes, dtype=int)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise ClusteringError("node index out of range")
+        accepted = np.asarray(accepted, dtype=int)
+        acceptance = self._kernel[:, accepted].sum(axis=1)
+        # coefficient matrix C[i, j] = conj(V[node_i, j]) * sqrt(q_j)
+        coefficients = (
+            self._eigenvectors[nodes, :].conj() * np.sqrt(acceptance)[None, :]
+        )
+        probabilities = np.sum(np.abs(coefficients) ** 2, axis=1)
+        filtered = coefficients @ self._eigenvectors.T
+        norms = np.linalg.norm(filtered, axis=1)
+        alive = probabilities >= 1e-15
+        filtered[~alive] = 0.0
+        probabilities = np.where(alive, probabilities, 0.0)
+        safe = np.where(alive, norms, 1.0)
+        return filtered / safe[:, None], probabilities
 
     def project_row(
         self, node: int, accepted: np.ndarray, rng=None
@@ -159,15 +213,8 @@ class AnalyticQPEBackend:
         """
         if not 0 <= node < self.num_nodes:
             raise ClusteringError(f"node {node} out of range")
-        accepted = np.asarray(accepted, dtype=int)
-        acceptance = self._kernel[:, accepted].sum(axis=1)
-        # |e_i> = Σ_j conj(V[i, j]) |u_j>
-        coefficients = self._eigenvectors[node, :].conj() * np.sqrt(acceptance)
-        filtered = self._eigenvectors @ coefficients
-        probability = float(np.sum(np.abs(coefficients) ** 2))
-        if probability < 1e-15:
-            return np.zeros(self.dim, dtype=complex), 0.0
-        return filtered / np.linalg.norm(filtered), probability
+        states, probabilities = self.project_rows([node], accepted)
+        return states[0], float(probabilities[0])
 
 
 class CircuitQPEBackend:
@@ -194,7 +241,7 @@ class CircuitQPEBackend:
 
     def __init__(
         self,
-        laplacian: np.ndarray,
+        laplacian,
         precision_bits: int,
         evolution: str = "exact",
         trotter_steps: int = 4,
@@ -204,6 +251,7 @@ class CircuitQPEBackend:
             raise ClusteringError(
                 f"precision_bits must be >= 1, got {precision_bits}"
             )
+        laplacian = to_dense_array(laplacian, dtype=complex)
         self.num_nodes = laplacian.shape[0]
         self.precision_bits = precision_bits
         self.lambda_scale = LAMBDA_SCALE
@@ -280,8 +328,26 @@ class CircuitQPEBackend:
             return np.zeros(self.dim, dtype=complex), 0.0
         return system_block / np.sqrt(block_mass), probability
 
+    def project_rows(
+        self, nodes, accepted: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`project_row` (sequential circuit runs inside).
 
-def make_backend(laplacian: np.ndarray, config) -> object:
+        Gate-level simulation cannot share work across input rows, so this
+        simply loops — it exists to give both backends the same batched
+        interface the pipeline drives.
+        """
+        nodes = np.asarray(nodes, dtype=int)
+        states = np.zeros((nodes.size, self.dim), dtype=complex)
+        probabilities = np.zeros(nodes.size)
+        for index, node in enumerate(nodes):
+            states[index], probabilities[index] = self.project_row(
+                int(node), accepted
+            )
+        return states, probabilities
+
+
+def make_backend(laplacian, config) -> object:
     """Instantiate the backend requested by a :class:`QSCConfig`."""
     if config.backend == "analytic":
         return AnalyticQPEBackend(laplacian, config.precision_bits)

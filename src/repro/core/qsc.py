@@ -85,7 +85,10 @@ class QuantumSpectralClustering:
         master = ensure_rng(cfg.seed)
         rng_histogram, rng_rows, rng_qmeans = spawn_rngs(master, 3)
         laplacian = hermitian_laplacian(
-            graph, theta=cfg.theta, normalization=cfg.normalization
+            graph,
+            theta=cfg.theta,
+            normalization=cfg.normalization,
+            backend=cfg.linalg_backend,
         )
         backend = make_backend(laplacian, cfg)
 
@@ -134,10 +137,14 @@ class QuantumSpectralClustering:
         rows = np.zeros((n, backend.dim), dtype=complex)
         norms = np.zeros(n)
         row_rngs = spawn_rngs(rng_rows, n)
+        # One batched filter call for all rows (a single matmul on the
+        # analytic backend) — the per-row loop below only handles the
+        # shot-noise stages, which own per-row RNG streams.
+        filtered_rows, probabilities = backend.project_rows(
+            np.arange(n), accepted
+        )
         for node in range(n):
-            filtered, probability = backend.project_row(
-                node, accepted, row_rngs[node]
-            )
+            filtered, probability = filtered_rows[node], probabilities[node]
             if probability <= 0.0:
                 continue  # row has no mass in the subspace — stays zero
             estimated_state = tomography_estimate(

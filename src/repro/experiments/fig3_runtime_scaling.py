@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import asdict
 
-import numpy as np
 
 from repro.core.runtime_model import RuntimeSample, fitted_exponent, profile_graph
 from repro.graphs import ensure_connected, mixed_sbm

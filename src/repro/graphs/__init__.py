@@ -15,6 +15,7 @@ from repro.graphs.generators import (
     ensure_connected,
     mixed_sbm,
     random_mixed_graph,
+    sparse_mixed_sbm,
 )
 from repro.graphs.netlist import GATE_TYPES, Gate, Netlist, synthetic_netlist
 from repro.graphs.hypergraph import EXPANSIONS, Hypergraph, Net
@@ -43,6 +44,7 @@ __all__ = [
     "ensure_connected",
     "mixed_sbm",
     "random_mixed_graph",
+    "sparse_mixed_sbm",
     "GATE_TYPES",
     "Gate",
     "Netlist",

@@ -14,6 +14,7 @@ import networkx as nx
 import numpy as np
 
 from repro.exceptions import GraphError
+from repro.linalg import resolve_backend
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,22 @@ class MixedGraph:
             return
         self._directed[(source, target)] = float(weight)
 
+    def add_edges(self, edges) -> None:
+        """Add undirected edges from ``(u, v)`` or ``(u, v, weight)`` rows.
+
+        A convenience loop over :meth:`add_edge` (same semantics, same
+        per-row cost) — the single insertion point generators and netlist
+        conversion feed their accumulated edge lists through.
+        """
+        for row in edges:
+            self.add_edge(*row)
+
+    def add_arcs(self, arcs) -> None:
+        """Add arcs from ``(source, target)`` or ``(source, target, weight)``
+        rows (convenience loop over :meth:`add_arc`)."""
+        for row in arcs:
+            self.add_arc(*row)
+
     # -- accessors -----------------------------------------------------------
 
     @property
@@ -142,6 +159,32 @@ class MixedGraph:
             for (u, v), w in sorted(self._directed.items())
         ]
         return und + dirs
+
+    def edge_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized view of all connections: ``(u, v, weight, directed)``.
+
+        Rows follow the same deterministic order as :meth:`edges`
+        (undirected first, each group sorted by endpoint pair) but skip the
+        per-connection :class:`Edge` object construction — this is the
+        construction path the sparse Hermitian matrices are built from.
+        """
+        und = sorted(self._undirected.items())
+        dirs = sorted(self._directed.items())
+        total = len(und) + len(dirs)
+        u = np.empty(total, dtype=np.int64)
+        v = np.empty(total, dtype=np.int64)
+        w = np.empty(total, dtype=float)
+        directed = np.zeros(total, dtype=bool)
+        for index, ((a, b), weight) in enumerate(und):
+            u[index], v[index], w[index] = a, b, weight
+        offset = len(und)
+        for index, ((a, b), weight) in enumerate(dirs):
+            u[offset + index], v[offset + index] = a, b
+            w[offset + index] = weight
+        directed[offset:] = True
+        return u, v, w, directed
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if an undirected edge joins u and v."""
@@ -186,23 +229,34 @@ class MixedGraph:
 
     # -- conversions ---------------------------------------------------------
 
-    def symmetrized_adjacency(self) -> np.ndarray:
-        """Real adjacency matrix ignoring direction (baseline input)."""
-        adj = np.zeros((self._num_nodes, self._num_nodes))
-        for (u, v), w in self._undirected.items():
-            adj[u, v] = adj[v, u] = adj[u, v] + w
-        for (u, v), w in self._directed.items():
-            adj[u, v] = adj[v, u] = adj[u, v] + w
-        return adj
+    def symmetrized_adjacency(self, backend="dense"):
+        """Real adjacency matrix ignoring direction (baseline input).
 
-    def directed_adjacency(self) -> np.ndarray:
+        ``backend`` follows the ``repro.linalg`` contract: ``"dense"``
+        (default, plain ndarray), ``"sparse"`` (CSR), or ``"auto"``.
+        """
+        u, v, w, _ = self.edge_arrays()
+        shape = (self._num_nodes, self._num_nodes)
+        return resolve_backend(backend, self._num_nodes).from_coo(
+            np.concatenate([u, v]),
+            np.concatenate([v, u]),
+            np.concatenate([w, w]),
+            shape,
+            dtype=float,
+        )
+
+    def directed_adjacency(self, backend="dense"):
         """Non-symmetric adjacency: arcs appear once, edges twice."""
-        adj = np.zeros((self._num_nodes, self._num_nodes))
-        for (u, v), w in self._undirected.items():
-            adj[u, v] = adj[v, u] = adj[u, v] + w
-        for (u, v), w in self._directed.items():
-            adj[u, v] += w
-        return adj
+        u, v, w, directed = self.edge_arrays()
+        und = ~directed
+        shape = (self._num_nodes, self._num_nodes)
+        return resolve_backend(backend, self._num_nodes).from_coo(
+            np.concatenate([u, v[und]]),
+            np.concatenate([v, u[und]]),
+            np.concatenate([w, w[und]]),
+            shape,
+            dtype=float,
+        )
 
     def to_networkx(self) -> nx.DiGraph:
         """Export as a DiGraph; undirected edges become arc pairs tagged

@@ -122,7 +122,14 @@ class Netlist:
             g for g in self.gates if include_inputs or g.gate_type != "INPUT"
         ]
         index = {g.name: i for i, g in enumerate(kept)}
-        graph = MixedGraph(len(kept), node_labels=[g.name for g in kept])
+        # Accumulate connections in plain sets/lists and insert once at the
+        # end, preserving the exact conflict semantics of incremental
+        # add_edge/add_arc calls (set membership replaces the per-call
+        # has_edge/has_arc probes).
+        undirected: set[tuple[int, int]] = set()
+        arcs: set[tuple[int, int]] = set()
+        edge_list: list[tuple[int, int, float]] = []
+        arc_list: list[tuple[int, int, float]] = []
         sinks_of: dict[str, list[int]] = {}
         for gate in kept:
             for net in gate.inputs:
@@ -132,25 +139,39 @@ class Netlist:
                 if driver == sink:
                     continue
                 sinks_of.setdefault(net, []).append(sink)
+                key = (min(driver, sink), max(driver, sink))
                 if gate.gate_type in bidirectional_types:
-                    if not graph.has_edge(driver, sink):
-                        graph.add_edge(driver, sink)
-                elif not (
-                    graph.has_arc(driver, sink)
-                    or graph.has_arc(sink, driver)
-                    or graph.has_edge(driver, sink)
+                    if key not in undirected:
+                        if (driver, sink) in arcs or (sink, driver) in arcs:
+                            raise GraphError(
+                                f"nodes {driver},{sink} already share an arc; "
+                                "remove it first"
+                            )
+                        undirected.add(key)
+                        edge_list.append((driver, sink, 1.0))
+                elif (
+                    (driver, sink) not in arcs
+                    and (sink, driver) not in arcs
+                    and key not in undirected
                 ):
-                    graph.add_arc(driver, sink)
+                    arcs.add((driver, sink))
+                    arc_list.append((driver, sink, 1.0))
         if net_cliques:
             for sinks in sinks_of.values():
                 for i, a in enumerate(sinks):
                     for b in sinks[i + 1 :]:
-                        if a != b and not (
-                            graph.has_edge(a, b)
-                            or graph.has_arc(a, b)
-                            or graph.has_arc(b, a)
+                        key = (min(a, b), max(a, b))
+                        if (
+                            a != b
+                            and key not in undirected
+                            and (a, b) not in arcs
+                            and (b, a) not in arcs
                         ):
-                            graph.add_edge(a, b, clique_weight)
+                            undirected.add(key)
+                            edge_list.append((a, b, clique_weight))
+        graph = MixedGraph(len(kept), node_labels=[g.name for g in kept])
+        graph.add_edges(edge_list)
+        graph.add_arcs(arc_list)
         return graph
 
     def module_labels(self, include_inputs: bool = True) -> np.ndarray:

@@ -1,0 +1,296 @@
+"""Pluggable linear-algebra backends: dense ``numpy`` vs ``scipy.sparse``.
+
+The backend contract
+--------------------
+Every matrix-producing function in the graphs layer and every
+matrix-consuming solver in the spectral layer goes through a
+:class:`LinalgBackend`.  A backend owns exactly four responsibilities:
+
+1. **Construction** — :meth:`~LinalgBackend.from_coo` assembles a matrix
+   from COO triplets (duplicate entries sum, matching ``np.add.at``
+   semantics), and :meth:`~LinalgBackend.identity` /
+   :meth:`~LinalgBackend.diagonal_matrix` build the structured factors the
+   Laplacian normalizations need.
+2. **Scaling** — :meth:`~LinalgBackend.scale_rows` and
+   :meth:`~LinalgBackend.scale_columns` apply diagonal conjugations
+   (D^{-1/2} H D^{-1/2} and friends) without densifying.
+3. **Solving** — :meth:`~LinalgBackend.lowest_eigenpairs` returns the k
+   lowest eigenpairs of a Hermitian matrix.  The dense backend calls
+   LAPACK ``eigh``; the sparse backend runs ARPACK Lanczos (``eigsh``)
+   with a deterministic start vector and falls back to a dense solve for
+   small n or near-full k, where Lanczos is either invalid (ARPACK
+   requires k < n) or slower than LAPACK.
+4. **Interop** — :meth:`~LinalgBackend.to_dense` and the module-level
+   :func:`as_backend_matrix` adapter move matrices between
+   representations, so any consumer can accept "either representation"
+   through one call.
+
+Backends are selected by name: ``"dense"``, ``"sparse"``, or ``"auto"``
+(:func:`resolve_backend`), where ``auto`` picks sparse for graphs with at
+least :data:`SPARSE_AUTO_THRESHOLD` nodes when SciPy is importable and
+dense otherwise.  The ``--backend`` CLI flag and
+``QSCConfig.linalg_backend`` expose the same three names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ReproError
+
+try:  # SciPy is an optional dependency: the dense backend never needs it.
+    import scipy.sparse as _sparse
+    import scipy.sparse.linalg as _sparse_linalg
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only on scipy-less hosts
+    _sparse = None
+    _sparse_linalg = None
+    HAVE_SCIPY = False
+
+BACKEND_NAMES = ("auto", "dense", "sparse")
+
+# "auto" switches to the sparse backend at this node count: below it a
+# dense eigh on the full matrix is faster than assembling CSR + ARPACK.
+SPARSE_AUTO_THRESHOLD = 256
+
+# The sparse solver falls back to a dense eigh below this dimension (ARPACK
+# start-up costs dominate) and whenever k is too close to n for Lanczos.
+DENSE_FALLBACK_DIM = 64
+
+
+class BackendError(ReproError):
+    """A linear-algebra backend was misconfigured or is unavailable."""
+
+
+def is_sparse_matrix(matrix) -> bool:
+    """True when ``matrix`` is any ``scipy.sparse`` container."""
+    return HAVE_SCIPY and _sparse.issparse(matrix)
+
+
+def to_dense_array(matrix, dtype=None) -> np.ndarray:
+    """Densify ``matrix`` (no copy for arrays already dense)."""
+    if is_sparse_matrix(matrix):
+        dense = matrix.toarray()
+    else:
+        dense = np.asarray(matrix)
+    if dtype is not None:
+        dense = dense.astype(dtype, copy=False)
+    return dense
+
+
+def _require_hermitian_dense(matrix: np.ndarray) -> None:
+    """Raise ConvergenceError unless ``matrix`` is (numerically) Hermitian.
+
+    ``eigh`` silently reads one triangle of a non-Hermitian input and
+    returns plausible-looking garbage; both backends guard against that.
+    """
+    if not np.allclose(matrix, matrix.conj().T, atol=1e-8):
+        raise ConvergenceError("lowest_eigenpairs requires a Hermitian matrix")
+
+
+class LinalgBackend:
+    """Shared behaviour of the dense and sparse backends (the contract)."""
+
+    name = "abstract"
+
+    def from_coo(self, rows, cols, values, shape, dtype=complex):
+        """Assemble a matrix from COO triplets; duplicates sum."""
+        raise NotImplementedError
+
+    def identity(self, n: int, dtype=complex):
+        """The n × n identity in the backend's native representation."""
+        raise NotImplementedError
+
+    def diagonal_matrix(self, values):
+        """diag(values) in the backend's native representation."""
+        raise NotImplementedError
+
+    def scale_rows(self, matrix, scale):
+        """diag(scale) @ matrix without materializing the diagonal."""
+        raise NotImplementedError
+
+    def scale_columns(self, matrix, scale):
+        """matrix @ diag(scale) without materializing the diagonal."""
+        raise NotImplementedError
+
+    def to_dense(self, matrix) -> np.ndarray:
+        """Densify a backend matrix."""
+        return to_dense_array(matrix)
+
+    def matvec(self, matrix, vector):
+        """matrix @ vector (both representations support ``@``)."""
+        return matrix @ vector
+
+    def lowest_eigenpairs(self, matrix, k: int):
+        """The k lowest eigenpairs of a Hermitian backend matrix."""
+        raise NotImplementedError
+
+
+class DenseBackend(LinalgBackend):
+    """Plain ``numpy`` arrays + LAPACK — exact, O(n²) memory, O(n³) solve."""
+
+    name = "dense"
+
+    def from_coo(self, rows, cols, values, shape, dtype=complex):
+        matrix = np.zeros(shape, dtype=dtype)
+        np.add.at(matrix, (np.asarray(rows), np.asarray(cols)), values)
+        return matrix
+
+    def identity(self, n: int, dtype=complex):
+        return np.eye(n, dtype=dtype)
+
+    def diagonal_matrix(self, values):
+        return np.diag(np.asarray(values))
+
+    def scale_rows(self, matrix, scale):
+        return np.asarray(scale)[:, None] * matrix
+
+    def scale_columns(self, matrix, scale):
+        return matrix * np.asarray(scale)[None, :]
+
+    def lowest_eigenpairs(self, matrix, k: int):
+        matrix = to_dense_array(matrix)
+        n = matrix.shape[0]
+        if not 1 <= k <= n:
+            raise ConvergenceError(f"k must be in [1, {n}], got {k}")
+        _require_hermitian_dense(matrix)
+        values, vectors = np.linalg.eigh(matrix)
+        return values[:k], vectors[:, :k]
+
+
+class SparseBackend(LinalgBackend):
+    """CSR matrices + ARPACK Lanczos — O(nnz) memory, O(k·nnz) solve.
+
+    Parameters
+    ----------
+    dense_fallback_dim:
+        Below this dimension :meth:`lowest_eigenpairs` densifies and calls
+        LAPACK instead of ARPACK (also used whenever ``k >= n - 1``, which
+        ARPACK cannot handle).
+    eigsh_tolerance:
+        Relative accuracy passed to ``eigsh`` (0 = machine precision).
+    """
+
+    name = "sparse"
+
+    def __init__(
+        self,
+        dense_fallback_dim: int = DENSE_FALLBACK_DIM,
+        eigsh_tolerance: float = 0.0,
+    ):
+        if not HAVE_SCIPY:
+            raise BackendError(
+                "SparseBackend requires scipy; install scipy or use the "
+                "dense backend"
+            )
+        self.dense_fallback_dim = int(dense_fallback_dim)
+        self.eigsh_tolerance = float(eigsh_tolerance)
+
+    def from_coo(self, rows, cols, values, shape, dtype=complex):
+        matrix = _sparse.coo_matrix(
+            (np.asarray(values, dtype=dtype), (np.asarray(rows), np.asarray(cols))),
+            shape=shape,
+        )
+        csr = matrix.tocsr()  # sums duplicate entries
+        csr.sum_duplicates()
+        return csr
+
+    def identity(self, n: int, dtype=complex):
+        return _sparse.identity(n, dtype=dtype, format="csr")
+
+    def diagonal_matrix(self, values):
+        return _sparse.diags(np.asarray(values)).tocsr()
+
+    def scale_rows(self, matrix, scale):
+        return (_sparse.diags(np.asarray(scale)) @ matrix).tocsr()
+
+    def scale_columns(self, matrix, scale):
+        return (matrix @ _sparse.diags(np.asarray(scale))).tocsr()
+
+    def lowest_eigenpairs(self, matrix, k: int):
+        n = matrix.shape[0]
+        if not 1 <= k <= n:
+            raise ConvergenceError(f"k must be in [1, {n}], got {k}")
+        if n <= self.dense_fallback_dim or k >= n - 1:
+            # ARPACK needs k < n and is slower than LAPACK at small n.
+            dense = to_dense_array(matrix, complex)
+            _require_hermitian_dense(dense)
+            values, vectors = np.linalg.eigh(dense)
+            return values[:k], vectors[:, :k]
+        csr = _sparse.csr_matrix(matrix)
+        # O(nnz) hermiticity guard — eigh/eigsh silently use one triangle
+        # of a non-Hermitian input and return plausible-looking garbage.
+        asymmetry = abs(csr - csr.getH())
+        if asymmetry.nnz and asymmetry.max() > 1e-8:
+            raise ConvergenceError(
+                "lowest_eigenpairs requires a Hermitian matrix"
+            )
+        # Deterministic start vector: eigsh defaults to a random one, which
+        # would make cluster labels run-to-run nondeterministic.
+        v0 = np.random.default_rng(0).normal(size=n)
+        try:
+            values, vectors = _sparse_linalg.eigsh(
+                csr, k=k, which="SA", v0=v0, tol=self.eigsh_tolerance
+            )
+        except _sparse_linalg.ArpackNoConvergence as error:
+            raise ConvergenceError(
+                f"sparse eigensolver failed to converge for n={n}, k={k}: "
+                f"{error}"
+            ) from error
+        order = np.argsort(values)
+        return values[order], vectors[:, order]
+
+
+_DENSE = DenseBackend()
+
+
+def get_backend(name: str) -> LinalgBackend:
+    """Backend instance for an explicit name (``"dense"`` or ``"sparse"``)."""
+    if isinstance(name, LinalgBackend):
+        return name
+    if name == "dense":
+        return _DENSE
+    if name == "sparse":
+        return SparseBackend()
+    raise BackendError(
+        f"unknown linalg backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def resolve_backend(spec, num_nodes: int | None = None) -> LinalgBackend:
+    """Resolve a backend spec (``"auto"``/``"dense"``/``"sparse"``/instance).
+
+    ``"auto"`` selects the sparse backend when the problem has at least
+    :data:`SPARSE_AUTO_THRESHOLD` nodes and SciPy is available; everything
+    smaller (or a SciPy-less host) stays dense, where LAPACK wins.
+    """
+    if isinstance(spec, LinalgBackend):
+        return spec
+    if spec == "auto":
+        if (
+            HAVE_SCIPY
+            and num_nodes is not None
+            and num_nodes >= SPARSE_AUTO_THRESHOLD
+        ):
+            return SparseBackend()
+        return _DENSE
+    return get_backend(spec)
+
+
+def as_backend_matrix(matrix, backend) -> object:
+    """Adapt ``matrix`` (dense array or scipy sparse) to ``backend``'s type.
+
+    This is the single conversion point consumers use to accept either
+    representation: the QPE engines densify through it, the sparse
+    eigensolvers CSR-ify through it, and it is a no-op when the matrix is
+    already native.
+    """
+    backend = resolve_backend(
+        backend, matrix.shape[0] if hasattr(matrix, "shape") else None
+    )
+    if backend.name == "sparse":
+        if is_sparse_matrix(matrix):
+            return matrix.tocsr()
+        return _sparse.csr_matrix(np.asarray(matrix))
+    return to_dense_array(matrix)

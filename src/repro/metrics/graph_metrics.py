@@ -92,14 +92,24 @@ def mixed_modularity(graph: MixedGraph, labels) -> float:
     point of reporting it next to :func:`cut_imbalance`.
     """
     labels = _validate_labels(graph, labels)
-    adjacency = graph.symmetrized_adjacency()
-    total_weight = adjacency.sum() / 2.0
-    if total_weight <= 0:
+    # Per-cluster closed form Q = Σ_c [e_c/2m − (d_c/2m)²] — identical to
+    # the Σ_same (A − ddᵀ/2m)/2m definition but O(edges + n) instead of
+    # three n × n dense intermediates (2 GB transient at 10k nodes).
+    u, v, w, _ = graph.edge_arrays()
+    degrees = graph.degrees()
+    double_weight = degrees.sum()  # = 2m
+    if double_weight <= 0:
         raise ClusteringError("graph has no connections")
-    degrees = adjacency.sum(axis=1)
-    same = labels[:, None] == labels[None, :]
-    expected = np.outer(degrees, degrees) / (2.0 * total_weight)
-    return float(((adjacency - expected) * same).sum() / (2.0 * total_weight))
+    num_clusters = int(labels.max()) + 1
+    same = labels[u] == labels[v]
+    intra = np.bincount(
+        labels[u[same]], weights=2.0 * w[same], minlength=num_clusters
+    )
+    cluster_degrees = np.bincount(labels, weights=degrees, minlength=num_clusters)
+    return float(
+        (intra / double_weight).sum()
+        - ((cluster_degrees / double_weight) ** 2).sum()
+    )
 
 
 def partition_summary(graph: MixedGraph, labels) -> dict[str, float]:

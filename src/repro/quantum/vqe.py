@@ -21,7 +21,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConvergenceError
-from repro.quantum import gates
 from repro.quantum.circuit import QuantumCircuit
 from repro.utils.linalg import is_hermitian
 from repro.utils.rng import ensure_rng

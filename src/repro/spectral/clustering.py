@@ -53,6 +53,10 @@ class ClassicalSpectralClustering:
         Laplacian normalization.
     normalize_rows:
         Row-normalize the embedding before k-means.
+    backend:
+        ``repro.linalg`` backend spec (``"auto"``, ``"dense"``,
+        ``"sparse"``, or an instance).  ``"auto"`` selects sparse CSR +
+        Lanczos for large graphs, dense LAPACK otherwise.
     seed:
         RNG seed for k-means.
 
@@ -72,6 +76,7 @@ class ClassicalSpectralClustering:
         normalization: str = "symmetric",
         normalize_rows: bool = True,
         kmeans_restarts: int = 4,
+        backend="auto",
         seed=None,
     ):
         if num_clusters < 1:
@@ -81,6 +86,7 @@ class ClassicalSpectralClustering:
         self.normalization = normalization
         self.normalize_rows = normalize_rows
         self.kmeans_restarts = kmeans_restarts
+        self.backend = backend
         self.seed = seed
 
     def fit(self, graph: MixedGraph) -> ClusteringResult:
@@ -96,6 +102,7 @@ class ClassicalSpectralClustering:
             theta=self.theta,
             normalization=self.normalization,
             normalize_rows=self.normalize_rows,
+            backend=self.backend,
         )
         km = kmeans(
             embedding,

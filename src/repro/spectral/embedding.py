@@ -14,7 +14,8 @@ import numpy as np
 from repro.exceptions import ClusteringError
 from repro.graphs.hermitian import DEFAULT_THETA, hermitian_laplacian
 from repro.graphs.mixed_graph import MixedGraph
-from repro.spectral.eigensolvers import dense_lowest_eigenpairs
+from repro.linalg import resolve_backend
+from repro.spectral.eigensolvers import lowest_eigenpairs
 
 
 def complex_to_real_features(matrix: np.ndarray) -> np.ndarray:
@@ -42,6 +43,7 @@ def spectral_embedding(
     theta: float = DEFAULT_THETA,
     normalization: str = "symmetric",
     normalize_rows: bool = True,
+    backend="auto",
 ) -> np.ndarray:
     """Classical (exact) spectral embedding of a mixed graph.
 
@@ -57,6 +59,11 @@ def spectral_embedding(
         Laplacian normalization (see ``repro.graphs.hermitian``).
     normalize_rows:
         Apply row normalization after the real feature map.
+    backend:
+        ``repro.linalg`` backend spec.  ``"auto"`` (default) keeps small
+        graphs on the exact dense path and switches large ones to sparse
+        CSR construction + Lanczos, which is what makes 10k-node graphs
+        tractable.
 
     Returns
     -------
@@ -66,8 +73,9 @@ def spectral_embedding(
         raise ClusteringError(
             f"num_clusters must be in [1, {graph.num_nodes}], got {num_clusters}"
         )
-    laplacian = hermitian_laplacian(graph, theta, normalization)
-    _, vectors = dense_lowest_eigenpairs(laplacian, num_clusters)
+    be = resolve_backend(backend, graph.num_nodes)
+    laplacian = hermitian_laplacian(graph, theta, normalization, backend=be)
+    _, vectors = lowest_eigenpairs(laplacian, num_clusters, backend=be)
     features = complex_to_real_features(vectors)
     if normalize_rows:
         features = row_normalize(features)

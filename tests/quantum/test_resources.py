@@ -1,6 +1,5 @@
 """Tests for the quantum resource accounting model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -10,7 +10,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.qpe_engine import AnalyticQPEBackend, pad_laplacian
 from repro.graphs import (
-    MixedGraph,
     hermitian_adjacency,
     hermitian_laplacian,
     laplacian_spectrum,
