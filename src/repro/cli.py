@@ -83,6 +83,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--precision-bits", type=int, default=7)
     cluster.add_argument("--shots", type=int, default=1024)
+    cluster.add_argument(
+        "--readout-chunk-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help=(
+            "rows per batched-readout block (bounds memory on large "
+            "graphs; default: all rows in one block)"
+        ),
+    )
     cluster.add_argument("--theta", type=float, default=float(np.pi / 2))
     cluster.add_argument("--seed", type=int, default=0)
 
@@ -126,6 +136,7 @@ def _cmd_cluster(args) -> int:
             linalg_backend=args.backend,
             precision_bits=args.precision_bits,
             shots=args.shots,
+            readout_chunk_size=args.readout_chunk_size,
             theta=args.theta,
             seed=args.seed,
         )

@@ -16,6 +16,11 @@ from repro.core.qpe_engine import (
     pad_laplacian,
 )
 from repro.core.qmeans import noisy_assign_labels, perturb_centroids, qmeans
+from repro.core.readout import (
+    ReadoutResult,
+    batched_readout,
+    canonicalize_row_phases,
+)
 from repro.core.qsc import QuantumSpectralClustering, quantum_spectral_clustering
 from repro.core.result import QSCResult
 from repro.core.runtime_model import RuntimeSample, fitted_exponent, profile_graph
@@ -43,6 +48,9 @@ __all__ = [
     "noisy_assign_labels",
     "perturb_centroids",
     "qmeans",
+    "ReadoutResult",
+    "batched_readout",
+    "canonicalize_row_phases",
     "QuantumSpectralClustering",
     "quantum_spectral_clustering",
     "QSCResult",

@@ -24,6 +24,15 @@ class QSCConfig:
     shots:
         Measurement budget per node for row tomography (0 = noiseless
         readout, the asymptotic-shots limit).
+    readout_chunk_size:
+        Rows per block in the batched readout pipeline
+        (:mod:`repro.core.readout`).  ``None`` (default) processes all
+        rows in one readout block; the circuit backend's internal circuit
+        passes stay capped at 64 simulated columns either way, and a
+        finite chunk can only lower that cap, never raise it — so smaller
+        values strictly bound peak memory (each live filter block is
+        ``chunk × dim`` amplitudes).  Chunking never changes results.
+        Exposed on the CLI as ``--readout-chunk-size``.
     histogram_shots:
         Shots spent on the global eigenvalue histogram used to pick the
         projection threshold.
@@ -61,6 +70,7 @@ class QSCConfig:
     precision_bits: int = 6
     shots: int = 2048
     histogram_shots: int = 4096
+    readout_chunk_size: int | None = None
     backend: str = "analytic"
     linalg_backend: str = "auto"
     evolution: str = "exact"
@@ -81,6 +91,11 @@ class QSCConfig:
             )
         if self.shots < 0 or self.histogram_shots < 1:
             raise ClusteringError("invalid shot budgets")
+        if self.readout_chunk_size is not None and self.readout_chunk_size < 1:
+            raise ClusteringError(
+                f"readout_chunk_size must be >= 1 or None, "
+                f"got {self.readout_chunk_size}"
+            )
         if self.backend not in BACKENDS:
             raise ClusteringError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"

@@ -8,17 +8,24 @@ Hermitian Laplacian:
   random node basis state), so every Laplacian eigenvector contributes equal
   expected mass: the k lowest eigenvalues own the first ≈ k/n of the
   histogram, which is what threshold selection relies on.
-* ``project_row(i, accepted, rng)`` — the normalized filtered state
-  Π_A |e_i> (A = accepted readout set) and its true acceptance probability.
+* ``project_rows(nodes, accepted)`` — the batched eigenvalue filter: the
+  normalized filtered states Π_A |e_i> (A = accepted readout set) and their
+  true acceptance probabilities for a whole block of rows at once.  This is
+  the hot path the readout pipeline (:mod:`repro.core.readout`) drives;
+  ``project_row`` is the single-row reference form.
 * ``lambda_scale`` — the eigenvalue-to-phase scaling, φ = λ / λ_scale.
 
 ``CircuitQPEBackend`` realises the filter at gate level: run the QPE
 circuit, zero the amplitudes of rejected ancilla readouts (the projective
 measurement amplitude amplification post-selects on), and run the inverse
-QPE circuit to uncompute the ancillas.  ``AnalyticQPEBackend`` computes the
-identical statistics from the eigendecomposition and the closed-form QPE
-response kernel — same output distribution, no 2^(m+p) state (see the
-substitution table in DESIGN.md).  Their agreement is property-tested.
+QPE circuit to uncompute the ancillas.  Its batched path runs every gate on
+a *matrix* of basis columns instead of one statevector per node, and caches
+the forward QPE application of all basis inputs when the table fits in
+memory, so the forward circuit is simulated once per fit rather than once
+per node.  ``AnalyticQPEBackend`` computes the identical statistics from
+the eigendecomposition and the closed-form QPE response kernel — same
+output distribution, no 2^(m+p) state (see the substitution table in
+DESIGN.md).  Their agreement is property-tested.
 """
 
 from __future__ import annotations
@@ -44,6 +51,12 @@ PAD_EIGENVALUE = 2.0
 # Eigenphases must stay strictly below 1; the scale leaves a small guard band
 # above the spectral bound 2 of the symmetric normalized Laplacian.
 LAMBDA_SCALE = 2.125
+# Batched circuit passes process this many basis columns at a time unless a
+# chunk size is configured; bounds peak memory at columns · 2^(p+m) amplitudes.
+DEFAULT_MAX_BATCH_COLUMNS = 64
+# Cache the joint forward table (2^p · dim · n complex entries) only below
+# this size (~64 MiB); larger tables are recomputed chunk by chunk per pass.
+FORWARD_TABLE_CACHE_MAX_ENTRIES = 1 << 22
 
 
 def pad_laplacian(laplacian):
@@ -161,6 +174,22 @@ class AnalyticQPEBackend:
     def eigenvalue_histogram(self, shots: int, rng) -> np.ndarray:
         """Sampled readout histogram with maximally mixed node input.
 
+        Parameters
+        ----------
+        shots:
+            Number of QPE executions to sample (must be >= 1).
+        rng:
+            :class:`numpy.random.Generator` supplying the multinomial draw.
+
+        Returns
+        -------
+        numpy.ndarray
+            Length-``2**precision_bits`` float vector of readout counts,
+            summing to ``shots``; entry ``y`` counts readouts of the
+            eigenvalue bin ``y / 2**precision_bits * lambda_scale``.
+
+        Notes
+        -----
         The mixture over nodes collapses to a single matvec: the weight of
         eigencomponent j is Σ_{i<n} |V[i, j]|², so the loop over per-node
         distributions is replaced by one ``weights @ kernel`` product.
@@ -178,11 +207,28 @@ class AnalyticQPEBackend:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched eigenvalue filter: all requested rows in one matmul.
 
-        Row i of the result is the normalized filtered state Π_A|e_i>
-        (zeros when the row has no mass in the subspace), paired with its
-        exact acceptance probability.  Replaces the per-row
-        :meth:`project_row` loop in the pipeline hot path — one
-        (nodes × dim) @ (dim × dim) product instead of n matvecs.
+        Parameters
+        ----------
+        nodes:
+            Integer array-like of ``K`` node indices in ``[0, num_nodes)``
+            (any order, duplicates allowed).
+        accepted:
+            Integer array of accepted QPE readout outcomes in
+            ``[0, 2**precision_bits)`` — the filter set A.
+
+        Returns
+        -------
+        (states, probabilities):
+            ``states`` is a ``(K, dim)`` complex matrix whose row ``i`` is
+            the *normalized* filtered state Π_A|e_{nodes[i]}> (all zeros
+            when the row has no mass in the subspace); ``probabilities``
+            is the matching ``(K,)`` float vector of exact acceptance
+            probabilities ``||Π_A e_{nodes[i]}||²`` (0 for dead rows).
+
+        Notes
+        -----
+        Replaces the per-row :meth:`project_row` loop in the pipeline hot
+        path — one (K × dim) @ (dim × dim) product instead of K matvecs.
         """
         nodes = np.asarray(nodes, dtype=int)
         if nodes.size and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
@@ -205,7 +251,9 @@ class AnalyticQPEBackend:
     def project_row(
         self, node: int, accepted: np.ndarray, rng=None
     ) -> tuple[np.ndarray, float]:
-        """Filtered state Π_A|e_node> (normalized) and acceptance probability.
+        """Filtered state Π_A|e_node> (normalized, length ``dim``) and its
+        acceptance probability — the single-row form of
+        :meth:`project_rows`.
 
         Each eigencomponent j survives the readout filter with amplitude
         sqrt(q_j), q_j = Σ_{y∈A} kernel[j, y] — the coherent attenuation
@@ -231,10 +279,19 @@ class CircuitQPEBackend:
         substitution), ``"trotter"`` for a product-formula unitary.
     trotter_steps / trotter_order:
         Product-formula parameters.
+    max_batch_columns:
+        Basis columns simulated per batched circuit pass (``None`` uses
+        :data:`DEFAULT_MAX_BATCH_COLUMNS`).  Peak memory per pass is
+        ``max_batch_columns · 2^(p+m)`` complex amplitudes.
 
     Notes
     -----
-    Memory is O(2^(m+p)); keep n·2^p below ~2^20.
+    Memory is O(2^(m+p)) per simulated column; keep n·2^p below ~2^20.
+    The forward QPE application of every basis input is computed in one
+    batched pass (and cached when the joint table stays below
+    :data:`FORWARD_TABLE_CACHE_MAX_ENTRIES` complex entries), so the
+    eigenvalue histogram and the row filter never re-simulate the forward
+    circuit node by node.
     """
 
     name = "circuit"
@@ -246,15 +303,23 @@ class CircuitQPEBackend:
         evolution: str = "exact",
         trotter_steps: int = 4,
         trotter_order: int = 2,
+        max_batch_columns: int | None = None,
     ):
         if precision_bits < 1:
             raise ClusteringError(
                 f"precision_bits must be >= 1, got {precision_bits}"
             )
+        if max_batch_columns is None:
+            max_batch_columns = DEFAULT_MAX_BATCH_COLUMNS
+        if max_batch_columns < 1:
+            raise ClusteringError(
+                f"max_batch_columns must be >= 1, got {max_batch_columns}"
+            )
         laplacian = to_dense_array(laplacian, dtype=complex)
         self.num_nodes = laplacian.shape[0]
         self.precision_bits = precision_bits
         self.lambda_scale = LAMBDA_SCALE
+        self.max_batch_columns = int(max_batch_columns)
         padded = pad_laplacian(laplacian)
         self.dim = padded.shape[0]
         time = 2.0 * np.pi / self.lambda_scale
@@ -268,6 +333,8 @@ class CircuitQPEBackend:
             raise ClusteringError(f"unknown evolution {evolution!r}")
         self._circuit = qpe_circuit(unitary, precision_bits)
         self._inverse_circuit = self._circuit.inverse()
+        self._forward_table: np.ndarray | None = None
+        self._outcome_table: np.ndarray | None = None
 
     def _run_forward(self, input_state: np.ndarray) -> np.ndarray:
         total_dim = 2**self._circuit.num_qubits
@@ -275,31 +342,163 @@ class CircuitQPEBackend:
         joint[: self.dim] = input_state
         return self._circuit.run(Statevector(joint)).amplitudes
 
+    # -- batched circuit execution ----------------------------------------
+
+    def _apply_columns(self, circuit, columns: np.ndarray) -> np.ndarray:
+        """Apply ``circuit`` to many joint statevectors at once.
+
+        ``columns`` is a ``(2**num_qubits, K)`` complex matrix whose
+        columns are independent input states; the result has the same
+        shape.  Each gate contracts against all K columns in a single
+        matmul — the batch axis rides along as a trailing tensor axis, so
+        per-column results match single-statevector simulation.
+        """
+        num_qubits = circuit.num_qubits
+        count = columns.shape[1]
+        tensor = np.ascontiguousarray(columns, dtype=complex).reshape(
+            (2,) * num_qubits + (count,)
+        )
+        for op in circuit.operations:
+            matrix = op.resolve_matrix()
+            k = len(op.qubits)
+            moved = np.moveaxis(tensor, op.qubits, range(k))
+            shape = moved.shape
+            contracted = matrix @ moved.reshape(2**k, -1)
+            tensor = np.moveaxis(contracted.reshape(shape), range(k), op.qubits)
+        return np.ascontiguousarray(tensor).reshape(2**num_qubits, count)
+
+    def _forward_columns(self, nodes: np.ndarray) -> np.ndarray:
+        """Forward QPE joint states for basis inputs |e_i>, i ∈ ``nodes``.
+
+        Returns a ``(2^p, dim, K)`` array: slab ``[..., j]`` is the joint
+        (ancilla, system) amplitude table after the forward circuit on
+        basis input ``nodes[j]``.  Computed ``max_batch_columns`` at a
+        time to bound memory.
+        """
+        total_dim = 2**self._circuit.num_qubits
+        out = np.empty(
+            (2**self.precision_bits, self.dim, nodes.size), dtype=complex
+        )
+        flat = out.reshape(total_dim, nodes.size)
+        for start in range(0, nodes.size, self.max_batch_columns):
+            block = nodes[start : start + self.max_batch_columns]
+            columns = np.zeros((total_dim, block.size), dtype=complex)
+            columns[block, np.arange(block.size)] = 1.0
+            flat[:, start : start + block.size] = self._apply_columns(
+                self._circuit, columns
+            )
+        return out
+
+    def _table_cacheable(self) -> bool:
+        """Whether the full-basis forward table fits the memory budget."""
+        entries = (2**self.precision_bits) * self.dim * self.dim
+        return entries <= FORWARD_TABLE_CACHE_MAX_ENTRIES
+
+    def _basis_forward(self, nodes: np.ndarray) -> np.ndarray:
+        """Forward table slabs for ``nodes``, served from the cache when the
+        full table fits :data:`FORWARD_TABLE_CACHE_MAX_ENTRIES`.
+
+        The cached table covers *all* ``dim`` basis inputs (padded inputs
+        included) so it doubles as U restricted to the input block.  The
+        returned ``(2^p, dim, K)`` array is always a fresh copy the caller
+        may mutate.
+        """
+        if self._table_cacheable():
+            if self._forward_table is None:
+                self._forward_table = self._forward_columns(
+                    np.arange(self.dim)
+                )
+            return self._forward_table[:, :, nodes].copy()
+        return self._forward_columns(nodes)
+
+    def _uncompute_blocks(self, masked: np.ndarray) -> np.ndarray:
+        """Ancilla-|0...0> output block of U† applied to ``masked`` columns.
+
+        ``masked`` is ``(2^p · dim, K)``; the result is ``(dim, K)``.  Rows
+        ``0..dim`` of U† are F† for F = U[:, 0..dim] (the forward basis
+        table), so when the table is cached this is a single matmul; the
+        uncached fallback simulates the inverse circuit gate by gate.
+        """
+        if self._table_cacheable():
+            if self._forward_table is None:
+                self._forward_table = self._forward_columns(
+                    np.arange(self.dim)
+                )
+            flat = self._forward_table.reshape(
+                (2**self.precision_bits) * self.dim, self.dim
+            )
+            return flat.conj().T @ masked
+        uncomputed = self._apply_columns(self._inverse_circuit, masked)
+        return uncomputed.reshape(
+            2**self.precision_bits, self.dim, masked.shape[1]
+        )[0]
+
+    def _node_outcome_table(self) -> np.ndarray:
+        """``(num_nodes, 2^p)`` exact readout distributions, one row per
+        basis input; built once from the batched forward pass."""
+        if self._outcome_table is None:
+            if self._table_cacheable():
+                if self._forward_table is None:
+                    self._forward_table = self._forward_columns(
+                        np.arange(self.dim)
+                    )
+                # straight off the cached table — no slab copies
+                slabs = self._forward_table[:, :, : self.num_nodes]
+                self._outcome_table = (np.abs(slabs) ** 2).sum(axis=1).T
+            else:
+                table = np.empty((self.num_nodes, 2**self.precision_bits))
+                for start in range(0, self.num_nodes, self.max_batch_columns):
+                    block = np.arange(
+                        start,
+                        min(start + self.max_batch_columns, self.num_nodes),
+                    )
+                    joint = self._forward_columns(block)
+                    table[block] = (np.abs(joint) ** 2).sum(axis=1).T
+                self._outcome_table = table
+        return self._outcome_table
+
     def node_outcome_distribution(self, node: int) -> np.ndarray:
         """Exact QPE readout distribution when the input is |e_node>."""
         if not 0 <= node < self.num_nodes:
             raise ClusteringError(f"node {node} out of range")
-        basis = np.zeros(self.dim, dtype=complex)
-        basis[node] = 1.0
-        table = self._run_forward(basis).reshape(
-            2**self.precision_bits, self.dim
-        )
-        return (np.abs(table) ** 2).sum(axis=1)
+        return self._node_outcome_table()[node].copy()
 
     def eigenvalue_histogram(self, shots: int, rng) -> np.ndarray:
-        """Sampled readout histogram with maximally mixed node input."""
+        """Sampled readout histogram with maximally mixed node input.
+
+        Parameters
+        ----------
+        shots:
+            Number of QPE executions to sample (must be >= 1).
+        rng:
+            :class:`numpy.random.Generator` supplying the multinomial draw.
+
+        Returns
+        -------
+        numpy.ndarray
+            Length-``2**precision_bits`` float vector of readout counts
+            summing to ``shots`` — same contract as the analytic backend.
+
+        Notes
+        -----
+        Uses the cached batched forward pass, so the circuit is not
+        re-simulated per node.
+        """
         if shots < 1:
             raise ClusteringError(f"shots must be >= 1, got {shots}")
-        mixture = np.zeros(2**self.precision_bits)
-        for node in range(self.num_nodes):
-            mixture += self.node_outcome_distribution(node)
-        mixture /= self.num_nodes
+        mixture = self._node_outcome_table().sum(axis=0) / self.num_nodes
         return rng.multinomial(shots, mixture).astype(float)
 
     def project_row(
         self, node: int, accepted: np.ndarray, rng=None
     ) -> tuple[np.ndarray, float]:
         """Gate-level eigenvalue filter: QPE → readout projector → QPE†.
+
+        Single-row reference implementation: simulates the forward and
+        inverse circuits on one statevector, bypassing the batched path
+        and its cache (:meth:`project_rows` is what the pipeline uses).
+        Returns the normalized length-``dim`` filtered state and its
+        acceptance probability.
 
         The ancilla register is uncomputed by the inverse circuit; the
         system block with ancilla = |0...0> carries the filtered state
@@ -331,30 +530,108 @@ class CircuitQPEBackend:
     def project_rows(
         self, nodes, accepted: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Batched :meth:`project_row` (sequential circuit runs inside).
+        """Batched gate-level eigenvalue filter.
 
-        Gate-level simulation cannot share work across input rows, so this
-        simply loops — it exists to give both backends the same batched
-        interface the pipeline drives.
+        Parameters
+        ----------
+        nodes:
+            Integer array-like of ``K`` node indices in ``[0, num_nodes)``.
+        accepted:
+            Integer array of accepted QPE readouts in
+            ``[0, 2**precision_bits)``.
+
+        Returns
+        -------
+        (states, probabilities):
+            ``(K, dim)`` complex matrix of normalized filtered states
+            (zero rows where no amplitude survived) and the matching
+            ``(K,)`` acceptance probabilities — the same contract as
+            :meth:`AnalyticQPEBackend.project_rows`.
+
+        Notes
+        -----
+        Runs forward QPE on all basis columns of a block at once (served
+        from the forward-table cache when available) and masks rejected
+        readouts.  The uncompute-and-postselect step needs only the
+        ancilla-|0...0> output block of the inverse circuit, and rows
+        ``0..dim`` of U† are exactly the conjugate transpose of the
+        forward basis table F = U[:, 0..dim] — so the inverse circuit
+        collapses to one ``F† @ (masked columns)`` matmul against the same
+        cached table, instead of K more full statevector simulations.
+        Blocks are ``max_batch_columns`` wide so memory stays bounded.
         """
         nodes = np.asarray(nodes, dtype=int)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise ClusteringError("node index out of range")
+        accepted = np.asarray(accepted, dtype=int)
+        size = 2**self.precision_bits
+        mask = np.zeros(size, dtype=bool)
+        mask[accepted] = True
         states = np.zeros((nodes.size, self.dim), dtype=complex)
         probabilities = np.zeros(nodes.size)
-        for index, node in enumerate(nodes):
-            states[index], probabilities[index] = self.project_row(
-                int(node), accepted
+        for start in range(0, nodes.size, self.max_batch_columns):
+            stop = min(start + self.max_batch_columns, nodes.size)
+            table = self._basis_forward(nodes[start:stop])
+            table[~mask, :, :] = 0.0
+            acceptance = np.sum(np.abs(table) ** 2, axis=(0, 1))
+            alive = acceptance >= 1e-15
+            safe_acceptance = np.where(alive, acceptance, 1.0)
+            masked = (table / np.sqrt(safe_acceptance)).reshape(
+                size * self.dim, stop - start
             )
+            blocks = self._uncompute_blocks(masked)
+            block_mass = np.sum(np.abs(blocks) ** 2, axis=0)
+            probability = acceptance * block_mass
+            live = alive & (probability >= 1e-15)
+            safe_mass = np.where(live, block_mass, 1.0)
+            block_states = (blocks / np.sqrt(safe_mass)).T
+            block_states[~live] = 0.0
+            states[start:stop] = block_states
+            probabilities[start:stop] = np.where(live, probability, 0.0)
         return states, probabilities
 
 
 def make_backend(laplacian, config) -> object:
-    """Instantiate the backend requested by a :class:`QSCConfig`."""
+    """Instantiate the QPE backend requested by a :class:`QSCConfig`.
+
+    Parameters
+    ----------
+    laplacian:
+        The (unpadded) n × n Hermitian Laplacian — dense ndarray or
+        ``scipy.sparse`` matrix; both backends densify internally and pad
+        to the next power-of-two dimension.
+    config:
+        A :class:`repro.core.config.QSCConfig`; ``config.backend`` picks
+        ``"analytic"`` or ``"circuit"``, ``config.precision_bits`` sets the
+        ancilla count, the ``evolution`` / ``trotter_*`` fields configure
+        the circuit backend's Hamiltonian simulation, and
+        ``config.readout_chunk_size`` (when set) can lower — never raise —
+        the circuit backend's batched-pass width.
+
+    Returns
+    -------
+    :class:`AnalyticQPEBackend` or :class:`CircuitQPEBackend` — both
+    expose ``num_nodes``, ``dim``, ``lambda_scale``,
+    ``eigenvalue_histogram``, ``project_rows`` / ``project_row`` and
+    ``node_outcome_distribution`` with identical shape contracts.
+    """
     if config.backend == "analytic":
         return AnalyticQPEBackend(laplacian, config.precision_bits)
+    if config.readout_chunk_size is None:
+        max_batch_columns = None
+    else:
+        # readout_chunk_size is a memory *bound*: it may shrink the
+        # batched circuit passes but must never widen them beyond the
+        # default, or a large readout chunk would inflate the very memory
+        # it is meant to cap.
+        max_batch_columns = min(
+            config.readout_chunk_size, DEFAULT_MAX_BATCH_COLUMNS
+        )
     return CircuitQPEBackend(
         laplacian,
         config.precision_bits,
         evolution=config.evolution,
         trotter_steps=config.trotter_steps,
         trotter_order=config.trotter_order,
+        max_batch_columns=max_batch_columns,
     )

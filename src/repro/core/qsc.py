@@ -6,10 +6,11 @@
    spectrum ⊂ [0, 2]), padded to 2^m dimension;
 2. QPE eigenvalue histogram on the maximally mixed node register →
    projection threshold ν (no classical eigensolve involved);
-3. per node i: eigenvalue filtering of |e_i> (QPE → post-selection on
-   readouts ≤ ν → uncompute), amplitude estimation of the acceptance
-   probability, and finite-shot tomography of the filtered state —
-   yielding a noisy reconstruction of row i of the subspace projector Π_k;
+3. batched readout (:mod:`repro.core.readout`): eigenvalue filtering of
+   every |e_i> (QPE → post-selection on readouts ≤ ν → uncompute),
+   amplitude estimation of the acceptance probabilities, and finite-shot
+   tomography of the filtered states, vectorized across all rows —
+   yielding a noisy reconstruction of the subspace projector Π_k;
 4. q-means (δ-noisy k-means) on the real feature map of those rows.
 
 Row i of Π_k = U_k U_k† is the isometric image of the classical spectral
@@ -27,11 +28,11 @@ from repro.core.config import QSCConfig
 from repro.core.projection import accepted_outcomes, select_threshold
 from repro.core.qmeans import qmeans
 from repro.core.qpe_engine import make_backend
+from repro.core.readout import batched_readout
 from repro.core.result import QSCResult
 from repro.exceptions import ClusteringError
 from repro.graphs.hermitian import hermitian_laplacian
 from repro.graphs.mixed_graph import MixedGraph
-from repro.quantum.measurement import tomography_estimate
 from repro.spectral.embedding import complex_to_real_features, row_normalize
 from repro.utils.rng import ensure_rng, spawn_rngs
 
@@ -134,42 +135,19 @@ class QuantumSpectralClustering:
             )
 
         n = graph.num_nodes
-        rows = np.zeros((n, backend.dim), dtype=complex)
-        norms = np.zeros(n)
-        row_rngs = spawn_rngs(rng_rows, n)
-        # One batched filter call for all rows (a single matmul on the
-        # analytic backend) — the per-row loop below only handles the
-        # shot-noise stages, which own per-row RNG streams.
-        filtered_rows, probabilities = backend.project_rows(
-            np.arange(n), accepted
+        # Batched readout pipeline: eigenvalue filter, tomography, amplitude
+        # estimation and phase anchoring for all rows at once, chunked to
+        # bound peak memory.  Per-row RNG streams are spawned from rng_rows
+        # inside, so results match a per-row loop over the scalar readout
+        # APIs bit for bit at the same seed.
+        readout = batched_readout(
+            backend,
+            accepted,
+            cfg.shots,
+            rng_rows,
+            chunk_size=cfg.readout_chunk_size,
         )
-        for node in range(n):
-            filtered, probability = filtered_rows[node], probabilities[node]
-            if probability <= 0.0:
-                continue  # row has no mass in the subspace — stays zero
-            estimated_state = tomography_estimate(
-                filtered, cfg.shots, seed=row_rngs[node]
-            )
-            # Amplitude estimation of the acceptance probability: binomial
-            # shot noise at the same budget (exact when shots = 0).
-            if cfg.shots > 0:
-                successes = row_rngs[node].binomial(cfg.shots, min(probability, 1.0))
-                estimated_probability = successes / cfg.shots
-            else:
-                estimated_probability = probability
-            rows[node] = np.sqrt(estimated_probability) * estimated_state
-            norms[node] = np.sqrt(estimated_probability)
-
-        # Tomography fixes each row only up to a global phase.  Row i of the
-        # projector Π_A has a *canonical* phase: its diagonal component
-        # Π[i, i] = ||Π_A e_i||² is real and non-negative, so rotating the
-        # estimate until component i is real-positive recovers the true
-        # relative phases across rows (up to shot noise).
-        for node in range(n):
-            anchor = rows[node][node]
-            magnitude = abs(anchor)
-            if magnitude > 1e-12:
-                rows[node] = rows[node] * np.conj(anchor / magnitude)
+        rows, norms = readout.rows, readout.norms
 
         features = complex_to_real_features(rows[:, :n])
         features = row_normalize(features)

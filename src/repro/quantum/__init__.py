@@ -48,6 +48,7 @@ from repro.quantum.measurement import (
     counts_to_probabilities,
     sample_distribution,
     tomography_estimate,
+    tomography_estimate_batch,
     expectation_from_counts,
 )
 from repro.quantum.swap_test import (
@@ -128,6 +129,7 @@ __all__ = [
     "counts_to_probabilities",
     "sample_distribution",
     "tomography_estimate",
+    "tomography_estimate_batch",
     "expectation_from_counts",
     "swap_test_circuit",
     "estimate_overlap",

@@ -7,6 +7,16 @@ simulated interference measurement whose variance follows the same 1/shots
 law.  With ``shots → ∞`` the estimate converges to the true state
 (property-tested), and the l2 error scales as O(sqrt(d/shots)), matching the
 Kerenidis–Prakash vector-tomography guarantee the paper builds on.
+
+:func:`tomography_estimate_batch` is the same model vectorized across many
+states at once: all deterministic arithmetic (normalization, magnitudes,
+phase noise application) runs as whole-matrix NumPy operations, while the
+random draws are taken from one caller-supplied generator *per row* in row
+order.  Because each row consumes exactly the draws — same distributions,
+same arguments, same order — that :func:`tomography_estimate` would take
+from the same generator, the batched path is bit-identical to a per-row
+loop at the same seeds; :func:`tomography_estimate` is in fact a batch of
+one.
 """
 
 from __future__ import annotations
@@ -71,36 +81,101 @@ def tomography_estimate(
     (the noiseless limit, used by exact-mode experiments).
     """
     state = np.asarray(state, dtype=complex).ravel()
-    norm = np.linalg.norm(state)
-    if norm < 1e-14:
-        raise EncodingError("cannot tomograph the zero vector")
-    state = state / norm
+    return tomography_estimate_batch(
+        state[None, :], shots, [ensure_rng(seed)]
+    )[0]
+
+
+def tomography_estimate_batch(
+    states: np.ndarray,
+    shots: int,
+    rngs,
+) -> np.ndarray:
+    """Vectorized :func:`tomography_estimate` across many states at once.
+
+    Parameters
+    ----------
+    states:
+        ``(rows, dim)`` complex matrix; each row is one (non-zero) state to
+        tomograph.  Rows need not be normalized — each is normalized
+        independently, exactly as the scalar path does.
+    shots:
+        Measurement budget shared by every row (0 = noiseless readout).
+    rngs:
+        One :class:`numpy.random.Generator` per row.  Row ``i`` draws only
+        from ``rngs[i]``, in the same order as the scalar path, so a batch
+        is bit-identical to looping :func:`tomography_estimate` over rows
+        with the same generators.
+
+    Returns
+    -------
+    ``(rows, dim)`` complex matrix of estimated unit vectors.
+    """
+    states = np.asarray(states, dtype=complex)
+    if states.ndim != 2:
+        raise EncodingError(
+            f"states must be a (rows, dim) matrix, got shape {states.shape}"
+        )
+    num_rows, dim = states.shape
+    if len(rngs) != num_rows:
+        raise EncodingError(
+            f"need one generator per row: {num_rows} rows, {len(rngs)} rngs"
+        )
     if shots < 0:
         raise EncodingError(f"shots must be non-negative, got {shots}")
+    # One squared-magnitude pass serves normalization, the multinomial
+    # pvals and the phase-noise scale.
+    squared = states.real**2 + states.imag**2
+    squared_norms = np.sum(squared, axis=-1)
+    if num_rows and squared_norms.min() < 1e-28:
+        raise EncodingError("cannot tomograph the zero vector")
     if shots == 0:
-        return state.copy()
-    rng = ensure_rng(seed)
+        return states / np.sqrt(squared_norms)[:, None]
     magnitude_shots = max(shots // 2, 1)
     phase_shots = max(shots - magnitude_shots, 1)
-    counts = rng.multinomial(magnitude_shots, np.abs(state) ** 2)
+    probability = squared / squared_norms[:, None]
+    counts = np.empty((num_rows, dim))
+    for row in range(num_rows):
+        counts[row] = rngs[row].multinomial(magnitude_shots, probability[row])
     magnitudes = np.sqrt(counts / magnitude_shots)
     # Relative-phase estimation: each component's phase is measured through
     # interference against a reference component; the phase error of
     # component s scales as 1/sqrt(phase_shots * p_s) — low-mass components
-    # carry proportionally noisier phases, exactly as on hardware.
-    true_phases = np.angle(state)
-    probability_mass = np.clip(np.abs(state) ** 2, 1e-12, None)
-    phase_sigma = 1.0 / np.sqrt(phase_shots * probability_mass)
-    noisy_phases = true_phases + rng.normal(0.0, np.minimum(phase_sigma, np.pi), state.size)
-    estimate = magnitudes * np.exp(1j * noisy_phases)
-    estimate_norm = np.linalg.norm(estimate)
-    if estimate_norm < 1e-14:
-        # Every shot landed outside the support (possible for tiny budgets);
-        # fall back to the maximum-likelihood single-basis state.
-        fallback = np.zeros_like(state)
-        fallback[int(np.argmax(np.abs(state)))] = 1.0
-        return fallback
-    return estimate / estimate_norm
+    # carry proportionally noisier phases, exactly as on hardware.  Only
+    # *observed* components (non-zero magnitude count) need a phase: the
+    # others enter the estimate with magnitude exactly zero, so their
+    # phase draws and trigonometry are skipped.  True phases are read off
+    # the raw states (phase is scale-invariant).
+    observed = counts != 0
+    observed_per_row = np.count_nonzero(observed, axis=-1)
+    phase_sigma = np.minimum(
+        1.0
+        / np.sqrt(phase_shots * np.clip(probability[observed], 1e-12, None)),
+        np.pi,
+    )
+    noise = np.empty(phase_sigma.size)
+    offset = 0
+    for row in range(num_rows):
+        stop = offset + observed_per_row[row]
+        noise[offset:stop] = rngs[row].normal(0.0, phase_sigma[offset:stop])
+        offset = stop
+    phases = np.arctan2(states.imag[observed], states.real[observed]) + noise
+    values = magnitudes[observed]
+    estimates = np.zeros((num_rows, dim), dtype=complex)
+    estimates.real[observed] = values * np.cos(phases)
+    estimates.imag[observed] = values * np.sin(phases)
+    # ||estimate||² = Σ counts/magnitude_shots = 1 up to rounding (the
+    # multinomial distributes every shot), so the renormalization below is
+    # a guard against accumulated rounding; the basis-state fallback can
+    # only trigger for degenerate inputs.
+    estimate_norms = np.sqrt(np.sum(magnitudes**2, axis=-1))
+    degenerate = estimate_norms < 1e-14
+    if degenerate.any():
+        for row in np.flatnonzero(degenerate):
+            estimates[row] = 0.0
+            estimates[row, int(np.argmax(squared[row]))] = 1.0
+        estimate_norms[degenerate] = 1.0
+    return estimates / estimate_norms[:, None]
 
 
 def expectation_from_counts(counts: dict[int, int], values: np.ndarray) -> float:

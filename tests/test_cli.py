@@ -37,6 +37,41 @@ class TestClusterCommand:
         assert out.startswith("labels:")
         assert "cut_weight:" in out
 
+    def test_readout_chunk_size_matches_unchunked(self, graph_file, capsys):
+        path, _ = graph_file
+        args = [
+            "cluster",
+            "--input",
+            path,
+            "--clusters",
+            "2",
+            "--shots",
+            "128",
+            "--seed",
+            "1",
+        ]
+        assert main(args) == 0
+        unchunked = capsys.readouterr().out
+        assert main(args + ["--readout-chunk-size", "5"]) == 0
+        chunked = capsys.readouterr().out
+        assert chunked.splitlines()[0] == unchunked.splitlines()[0]
+
+    def test_readout_chunk_size_rejects_zero(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            [
+                "cluster",
+                "--input",
+                path,
+                "--clusters",
+                "2",
+                "--readout-chunk-size",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "readout_chunk_size" in capsys.readouterr().err
+
     def test_classical_cluster(self, graph_file, capsys):
         path, _ = graph_file
         code = main(
