@@ -6,6 +6,7 @@
     python -m repro generate --kind flow --nodes 60 --clusters 3 --output g.mixed
     python -m repro bench    --name c17 --clusters 2
     python -m repro spectrum --input graph.mixed --top 8
+    python -m repro experiments --only fig2 --jobs 4 --out artifacts/
 
 Graphs travel in the edge-list format of ``repro.graphs.io``.  Every
 subcommand prints plain text to stdout and exits non-zero on error, so the
@@ -17,6 +18,11 @@ exact dense path and switches large ones to sparse CSR + Lanczos, which is
 what lets ``cluster --method classical`` handle 10k-node graphs.  The QPE
 statistics engine is chosen separately via ``--qpe-backend
 {analytic,circuit}``.
+
+``experiments`` drives the unified sweep engine
+(:mod:`repro.experiments.runner`): it reproduces the paper's figure/table
+sweeps, optionally across a process pool (``--jobs``), and writes one
+validated JSON artifact per sweep plus the rendered markdown.
 """
 
 from __future__ import annotations
@@ -125,6 +131,49 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="linear-algebra backend for the eigensolve",
     )
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="run the paper's figure/table sweeps via the sweep engine",
+    )
+    experiments.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_specs",
+        help="list the available sweeps and exit",
+    )
+    experiments.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help=(
+            "run only the named sweep (repeatable, e.g. --only fig2 "
+            "--only table1); default: all six"
+        ),
+    )
+    experiments.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the per-point trial count of every selected sweep",
+    )
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for trial execution (default 1 = serial; "
+            "parallel output is bit-identical to serial)"
+        ),
+    )
+    experiments.add_argument(
+        "--out",
+        default="artifacts",
+        metavar="DIR",
+        help="directory for the JSON artifacts (default: ./artifacts)",
+    )
     return parser
 
 
@@ -215,11 +264,50 @@ def _cmd_spectrum(args) -> int:
     return 0
 
 
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import SweepRunner, registry, write_artifact
+
+    specs = registry()
+    if args.list_specs:
+        for name, factory in specs.items():
+            spec = factory()
+            axes = ", ".join(
+                f"{axis.name}={list(axis.values)}" for axis in spec.axes
+            )
+            print(f"{name:8s} {spec.artifact:9s} {spec.description}")
+            print(f"{'':8s} axes: {axes}; trials: {spec.trials}")
+        return 0
+    selected = args.only or list(specs)
+    unknown = [name for name in selected if name not in specs]
+    if unknown:
+        raise ReproError(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(specs)}"
+        )
+    for name in selected:
+        spec = specs[name]()
+        if args.trials is not None:
+            spec = spec.with_updates(trials=args.trials)
+        result = SweepRunner(spec, jobs=args.jobs).run()
+        artifact = result.to_artifact()
+        path = write_artifact(result, args.out, artifact=artifact)
+        cache = result.cache
+        print(
+            f"{name}: {len(result.records)} records in "
+            f"{result.elapsed_seconds:.2f}s (jobs={result.jobs}, "
+            f"cache hits={cache['hits']} misses={cache['misses']}) -> {path}"
+        )
+        if artifact["table"]:
+            print(artifact["table"])
+    return 0
+
+
 _COMMANDS = {
     "cluster": _cmd_cluster,
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "spectrum": _cmd_spectrum,
+    "experiments": _cmd_experiments,
 }
 
 

@@ -30,6 +30,9 @@ DESIGN.md).  Their agreement is property-tested.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.exceptions import ClusteringError
@@ -57,6 +60,179 @@ DEFAULT_MAX_BATCH_COLUMNS = 64
 # Cache the joint forward table (2^p · dim · n complex entries) only below
 # this size (~64 MiB); larger tables are recomputed chunk by chunk per pass.
 FORWARD_TABLE_CACHE_MAX_ENTRIES = 1 << 22
+# Default byte budget of the process-wide spectral cache below (~256 MiB of
+# eigendecompositions and QPE kernels; a 1024-node graph costs ~16 MiB).
+SPECTRAL_CACHE_MAX_BYTES = 256 << 20
+
+
+def laplacian_fingerprint(laplacian: np.ndarray) -> str:
+    """Content key of a dense Laplacian: hash of its shape, dtype and bytes.
+
+    Two Laplacians share a fingerprint iff they are entry-for-entry
+    identical, so any change to the underlying graph (an edge, a weight, a
+    different θ or normalization) produces a different key and can never be
+    served stale spectral data.  Hashing costs O(n²) — negligible next to
+    the O(n³) eigendecomposition it stands in for.
+    """
+    laplacian = np.ascontiguousarray(laplacian)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(laplacian.shape).encode())
+    digest.update(str(laplacian.dtype).encode())
+    digest.update(laplacian.tobytes())
+    return digest.hexdigest()
+
+
+class SpectralCache:
+    """Process-local LRU cache of eigendecompositions and QPE kernels.
+
+    Entries are keyed by Laplacian *content* (:func:`laplacian_fingerprint`)
+    — plus the ancilla count for kernels — so sweep points that vary only
+    shots, threshold or precision reuse the O(n³) eigendecomposition, and
+    points that vary only shots/threshold additionally reuse the QPE
+    response kernel.  The cache is bounded by total byte size
+    (``max_bytes``): least-recently-used entries are evicted first, and an
+    entry larger than the whole budget is simply not stored.
+
+    Cached arrays are marked read-only and shared between backend
+    instances; callers must treat them as immutable (the backends do).
+    The cache is per process — parallel sweep workers each hold their own —
+    and is *transparent*: hit or miss, the numbers produced are identical.
+    """
+
+    def __init__(self, max_bytes: int = SPECTRAL_CACHE_MAX_BYTES):
+        if max_bytes < 0:
+            raise ClusteringError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.enabled = True
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters snapshot: hits, misses, evictions, entries, bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+        }
+
+    def clear(self, reset_stats: bool = True) -> None:
+        """Drop every entry (and by default zero the counters)."""
+        self._entries.clear()
+        self._bytes = 0
+        if reset_stats:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def configure(
+        self, max_bytes: int | None = None, enabled: bool | None = None
+    ) -> None:
+        """Adjust the byte budget and/or switch the cache off entirely."""
+        if max_bytes is not None:
+            if max_bytes < 0:
+                raise ClusteringError(
+                    f"max_bytes must be >= 0, got {max_bytes}"
+                )
+            self.max_bytes = int(max_bytes)
+            self._shrink()
+        if enabled is not None:
+            self.enabled = bool(enabled)
+
+    def _shrink(self) -> None:
+        while self._bytes > self.max_bytes and self._entries:
+            _, (arrays, nbytes) = self._entries.popitem(last=False)
+            self._bytes -= nbytes
+            self.evictions += 1
+
+    def _get(self, key: tuple, builder) -> tuple:
+        """LRU lookup of ``key``; on miss run ``builder`` and store."""
+        if not self.enabled:
+            return builder()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached[0]
+        self.misses += 1
+        arrays = builder()
+        for array in arrays:
+            array.setflags(write=False)
+        nbytes = sum(array.nbytes for array in arrays)
+        if nbytes <= self.max_bytes:
+            self._entries[key] = (arrays, nbytes)
+            self._bytes += nbytes
+            self._shrink()
+        return arrays
+
+    # -- the two cached products ------------------------------------------
+
+    def decomposition(
+        self, fingerprint: str, padded: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eigendecomposition ``(eigenvalues, eigenvectors)`` of ``padded``.
+
+        ``padded`` may be ``None`` on a guaranteed hit (the caller already
+        holds the fingerprint from an earlier call this process).
+        """
+
+        def build():
+            if padded is None:
+                raise ClusteringError(
+                    "spectral cache miss with no matrix to decompose"
+                )
+            decomposition = SpectralDecomposition.of(padded)
+            return (decomposition.eigenvalues, decomposition.eigenvectors)
+
+        return self._get(("decomposition", fingerprint), build)
+
+    def kernel(
+        self,
+        fingerprint: str,
+        precision_bits: int,
+        phases: np.ndarray,
+    ) -> np.ndarray:
+        """QPE response kernel ``kernel[j, y] = Pr[readout y | eigvec j]``.
+
+        Keyed by (Laplacian content, ancilla count): a sweep point that
+        changes only shots or the acceptance threshold reuses both the
+        decomposition *and* this kernel; changing ``precision_bits`` reuses
+        the decomposition and rebuilds only the kernel.
+        """
+
+        def build():
+            return (
+                np.vstack(
+                    [
+                        qpe_outcome_distribution(phase, precision_bits)
+                        for phase in phases
+                    ]
+                ),
+            )
+
+        return self._get(("kernel", fingerprint, int(precision_bits)), build)[0]
+
+
+#: The process-wide spectral cache ``AnalyticQPEBackend`` (and the circuit
+#: backend's exact-evolution construction) consult.  Parallel sweep workers
+#: each own an independent instance of this module, hence their own cache.
+SPECTRAL_CACHE = SpectralCache()
+
+
+def spectral_cache_stats() -> dict:
+    """Hit/miss/eviction counters of :data:`SPECTRAL_CACHE`."""
+    return SPECTRAL_CACHE.stats()
+
+
+def clear_spectral_cache() -> None:
+    """Empty :data:`SPECTRAL_CACHE` and reset its counters."""
+    SPECTRAL_CACHE.clear()
 
 
 def pad_laplacian(laplacian):
@@ -112,6 +288,14 @@ class AnalyticQPEBackend:
     not of a classical shortcut: every quantity exposed is exactly the
     measurement statistics the circuit backend produces, and nothing else
     (cross-validated in tests/core/test_qpe_engine.py).
+
+    Both the eigendecomposition and the QPE response kernel are served
+    from :data:`SPECTRAL_CACHE`, keyed by Laplacian content — constructing
+    a second backend for the same Laplacian (a sweep point that varies
+    only shots or threshold, or a diagnostics pass after a fit) skips the
+    O(n³) eigensolve and, at equal ``precision_bits``, the kernel build.
+    The cached arrays are shared read-only; hit or miss, outputs are
+    bit-identical.
     """
 
     name = "analytic"
@@ -127,9 +311,10 @@ class AnalyticQPEBackend:
         self.lambda_scale = LAMBDA_SCALE
         padded = pad_laplacian(laplacian)
         self.dim = padded.shape[0]
-        decomposition = SpectralDecomposition.of(padded)
-        self._eigenvalues = decomposition.eigenvalues
-        self._eigenvectors = decomposition.eigenvectors
+        fingerprint = laplacian_fingerprint(padded)
+        self._eigenvalues, self._eigenvectors = SPECTRAL_CACHE.decomposition(
+            fingerprint, padded
+        )
         phases = self._eigenvalues / self.lambda_scale
         if phases.max() >= 1.0 or phases.min() < -1e-9:
             raise ClusteringError(
@@ -137,12 +322,7 @@ class AnalyticQPEBackend:
                 "symmetric normalization"
             )
         # kernel[j, y] = Pr[readout y | eigenvector j]
-        self._kernel = np.vstack(
-            [
-                qpe_outcome_distribution(phase, precision_bits)
-                for phase in phases
-            ]
-        )
+        self._kernel = SPECTRAL_CACHE.kernel(fingerprint, precision_bits, phases)
 
     @property
     def eigenvalues(self) -> np.ndarray:
@@ -324,7 +504,14 @@ class CircuitQPEBackend:
         self.dim = padded.shape[0]
         time = 2.0 * np.pi / self.lambda_scale
         if evolution == "exact":
-            unitary = SpectralDecomposition.of(padded).evolution(time)
+            # The exact evolution only needs the spectrum, so it shares the
+            # content-keyed decomposition cache with the analytic backend.
+            eigenvalues, eigenvectors = SPECTRAL_CACHE.decomposition(
+                laplacian_fingerprint(padded), padded
+            )
+            unitary = SpectralDecomposition(
+                eigenvalues=eigenvalues, eigenvectors=eigenvectors
+            ).evolution(time)
         elif evolution == "trotter":
             unitary = trotter_evolution(
                 padded, time, steps=trotter_steps, order=trotter_order

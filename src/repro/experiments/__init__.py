@@ -9,13 +9,18 @@ F1          ``repro.experiments.fig1_direction_sweep``
 F2          ``repro.experiments.fig2_precision_sweep``
 F3          ``repro.experiments.fig3_runtime_scaling``
 F4          ``repro.experiments.fig4_shots_sweep``
-A1–A3       ``repro.experiments.ablations``
+A1–A6       ``repro.experiments.ablations``
 ==========  =============================================================
 
-Each module has ``run(...)`` (structured records), a renderer
-(``table``/``series``), and ``main()`` which prints the markdown quoted in
-EXPERIMENTS.md.  The matching pytest-benchmark targets live in
-``benchmarks/``.
+Every figure/table module declares its sweep as a
+:class:`~repro.experiments.runner.SweepSpec` (the ``spec()`` factory) and
+executes it through :class:`~repro.experiments.runner.SweepRunner` — the
+unified engine providing process-parallel trials (``jobs``), the spectral
+cache and uniform JSON artifacts (see ``docs/experiments.md``).  Each
+module keeps ``run(...)`` (structured records, legacy-compatible seeds), a
+renderer (``table``/``series``), and ``main()`` which prints the markdown
+quoted in EXPERIMENTS.md.  The matching pytest-benchmark targets live in
+``benchmarks/``; the CLI front end is ``python -m repro experiments``.
 """
 
 from repro.experiments import (
@@ -25,6 +30,7 @@ from repro.experiments import (
     fig2_precision_sweep,
     fig3_runtime_scaling,
     fig4_shots_sweep,
+    runner,
     table1_msbm,
     table2_netlist,
 )
@@ -35,6 +41,15 @@ from repro.experiments.common import (
     render_markdown_table,
     standard_methods,
 )
+from repro.experiments.runner import (
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+    get_spec,
+    registry,
+    validate_artifact,
+    write_artifact,
+)
 
 __all__ = [
     "ablations",
@@ -43,6 +58,7 @@ __all__ = [
     "fig2_precision_sweep",
     "fig3_runtime_scaling",
     "fig4_shots_sweep",
+    "runner",
     "table1_msbm",
     "table2_netlist",
     "TrialRecord",
@@ -50,4 +66,11 @@ __all__ = [
     "evaluate_methods",
     "render_markdown_table",
     "standard_methods",
+    "SweepAxis",
+    "SweepRunner",
+    "SweepSpec",
+    "get_spec",
+    "registry",
+    "validate_artifact",
+    "write_artifact",
 ]

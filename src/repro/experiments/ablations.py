@@ -12,6 +12,13 @@
   eigenvalue accuracy and end-to-end agreement on small graphs.
 * **A6** — hypergraph-expansion ablation: clique versus star expansion of
   netlist nets and their effect on module recovery.
+
+These reproduce the paper's ablation paragraphs rather than a numbered
+figure/table; each function states the knob it varies (Trotter steps and
+order, arc phase θ, noise rates, shot budget, VQE depth, net expansion).
+They are deliberate one-off scans, not :class:`SweepSpec` sweeps — the
+declarative engine in :mod:`repro.experiments.runner` covers the six
+figure/table artifacts.
 """
 
 from __future__ import annotations

@@ -1,7 +1,9 @@
 """Shared experiment-harness utilities.
 
-Every experiment module produces a list of :class:`TrialRecord` rows; the
-helpers here aggregate them over seeds and render the same markdown tables
+Every experiment module produces a list of :class:`TrialRecord` rows (its
+sweep is declared as a :class:`~repro.experiments.runner.SweepSpec` and
+executed by :class:`~repro.experiments.runner.SweepRunner`); the helpers
+here aggregate those rows over seeds and render the same markdown tables
 EXPERIMENTS.md quotes.  A *method* is any object with a ``fit(graph)``
 returning something with a ``labels`` attribute.
 """
@@ -39,7 +41,9 @@ class TrialRecord:
     seed:
         Trial seed.
     ari / accuracy:
-        Clustering quality against ground truth.
+        Clustering quality against ground truth; ``None`` for sweeps with
+        no ground-truth labels (e.g. the F3 runtime profile, whose
+        measurements live entirely in ``extra``).
     extra:
         Free-form additional measurements.
     """
@@ -48,8 +52,8 @@ class TrialRecord:
     method: str
     parameters: dict
     seed: int
-    ari: float
-    accuracy: float
+    ari: float | None = None
+    accuracy: float | None = None
     extra: dict = field(default_factory=dict)
 
 

@@ -1,4 +1,11 @@
-"""Experiment F1 — accuracy versus direction strength (the crossover figure).
+"""Experiment F1 — reproduces **Figure 1** of the paper: accuracy versus
+direction strength (the crossover figure).
+
+Swept knobs: ``direction_strength`` (the only axis) over per-trial seeds;
+fixed knobs: graph size, cluster count, edge density, QPE precision and
+shots.  The sweep runs through
+:class:`repro.experiments.runner.SweepRunner` and evaluates the full
+six-method comparison panel per trial.
 
 Cyclic-flow SBMs hold edge density constant everywhere; sweeping
 ``direction_strength`` from 0.5 (orientation pure noise) to 1.0 (every
@@ -19,10 +26,69 @@ from repro.experiments.common import (
     render_markdown_table,
     standard_methods,
 )
+from repro.experiments.runner import SweepAxis, SweepRunner, SweepSpec
 from repro.graphs import cyclic_flow_sbm, ensure_connected
 
 DEFAULT_STRENGTHS = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 DEFAULT_TRIALS = 5
+DEFAULT_BASE_SEED = 500
+
+
+def _trial_seed(point, trial, base_seed) -> int:
+    """The historical F1 per-trial seed formula (records stay identical)."""
+    return base_seed + 1009 * trial + int(point["strength"] * 1000)
+
+
+def _trial(
+    point, trial, seed, rng, num_nodes, num_clusters, density, precision_bits, shots
+) -> list[TrialRecord]:
+    """One F1 trial: the full method panel on one cyclic-flow SBM."""
+    strength = point["strength"]
+    graph, truth = cyclic_flow_sbm(
+        num_nodes,
+        num_clusters,
+        density=density,
+        direction_strength=strength,
+        intra_directed=True,  # orientation is the ONLY signal
+        seed=seed,
+    )
+    ensure_connected(graph, seed=seed)
+    config = QSCConfig(precision_bits=precision_bits, shots=shots, seed=seed)
+    methods = standard_methods(num_clusters, seed, config)
+    return evaluate_methods(
+        "F1", methods, graph, truth, {"strength": strength}, seed
+    )
+
+
+def spec(
+    strengths=DEFAULT_STRENGTHS,
+    num_nodes: int = 72,
+    num_clusters: int = 3,
+    density: float = 0.3,
+    trials: int = DEFAULT_TRIALS,
+    precision_bits: int = 7,
+    shots: int = 1024,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> SweepSpec:
+    """The declarative F1 sweep (same knobs as :func:`run`)."""
+    return SweepSpec(
+        name="fig1",
+        artifact="Figure 1",
+        description="Direction-strength sweep: six-method crossover curves",
+        axes=(SweepAxis("strength", tuple(strengths)),),
+        trial=_trial,
+        seed=_trial_seed,
+        base_seed=base_seed,
+        trials=trials,
+        fixed={
+            "num_nodes": num_nodes,
+            "num_clusters": num_clusters,
+            "density": density,
+            "precision_bits": precision_bits,
+            "shots": shots,
+        },
+        render=series,
+    )
 
 
 def run(
@@ -33,37 +99,27 @@ def run(
     trials: int = DEFAULT_TRIALS,
     precision_bits: int = 7,
     shots: int = 1024,
-    base_seed: int = 500,
+    base_seed: int = DEFAULT_BASE_SEED,
+    jobs: int = 1,
 ) -> list[TrialRecord]:
-    """Run the F1 direction-strength sweep."""
-    records = []
-    for strength in strengths:
-        for trial in range(trials):
-            seed = base_seed + 1009 * trial + int(strength * 1000)
-            graph, truth = cyclic_flow_sbm(
-                num_nodes,
-                num_clusters,
+    """Run the F1 direction-strength sweep through the sweep engine."""
+    return (
+        SweepRunner(
+            spec(
+                strengths=strengths,
+                num_nodes=num_nodes,
+                num_clusters=num_clusters,
                 density=density,
-                direction_strength=strength,
-                intra_directed=True,  # orientation is the ONLY signal
-                seed=seed,
-            )
-            ensure_connected(graph, seed=seed)
-            config = QSCConfig(
-                precision_bits=precision_bits, shots=shots, seed=seed
-            )
-            methods = standard_methods(num_clusters, seed, config)
-            records.extend(
-                evaluate_methods(
-                    "F1",
-                    methods,
-                    graph,
-                    truth,
-                    {"strength": strength},
-                    seed,
-                )
-            )
-    return records
+                trials=trials,
+                precision_bits=precision_bits,
+                shots=shots,
+                base_seed=base_seed,
+            ),
+            jobs=jobs,
+        )
+        .run()
+        .records
+    )
 
 
 def series(records: list[TrialRecord]) -> str:

@@ -1,6 +1,12 @@
-"""Experiment F2 — QPE precision: quantization error, leakage, accuracy.
+"""Experiment F2 — reproduces **Figure 2** of the paper: QPE precision
+versus quantization error, bulk leakage and end-to-end accuracy.
 
-Sweeps the ancilla count p and reports three quantities per point:
+Swept knobs: the QPE ancilla count ``p`` (the only axis) over per-trial
+seeds; fixed knobs: graph size, cluster count, tomography shots and the
+optional small-n circuit-backend cross-check.  The sweep runs through
+:class:`repro.experiments.runner.SweepRunner` (``spec()`` builds the
+declarative description; ``run()`` is the serial-compatible wrapper) and
+reports three quantities per point:
 
 * ``eig_rmse`` — RMS eigenvalue quantization error, which halves per added
   bit (the ε_λ precision parameter of the theory);
@@ -14,6 +20,10 @@ near-perfect once leakage is below ~10% — the algorithm only needs the
 filter to *separate* low from bulk, not to resolve eigenvalues finely (an
 explicit robustness finding recorded in EXPERIMENTS.md).  A circuit-backend
 cross-check runs at small n for gate-level confirmation.
+
+Each trial fits the pipeline and then builds a diagnostics backend on the
+same Laplacian — the second eigendecomposition and QPE kernel are served
+from the spectral cache (see ``docs/experiments.md``).
 """
 
 from __future__ import annotations
@@ -21,14 +31,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import QSCConfig, QuantumSpectralClustering
-from repro.core.qpe_engine import AnalyticQPEBackend
 from repro.core.projection import accepted_outcomes
+from repro.core.qpe_engine import AnalyticQPEBackend
 from repro.experiments.common import TrialRecord, aggregate, render_markdown_table
+from repro.experiments.runner import SweepAxis, SweepRunner, SweepSpec
 from repro.graphs import ensure_connected, hermitian_laplacian, mixed_sbm
 from repro.metrics import adjusted_rand_index, matched_accuracy
 
 DEFAULT_PRECISIONS = (1, 2, 3, 4, 5, 6, 7, 8)
 DEFAULT_TRIALS = 5
+DEFAULT_BASE_SEED = 700
+# Mixed-SBM edge densities of the F2 trial graphs (shared with the bench,
+# which rebuilds the sweep's Laplacians for its spectral-path measurement).
+SBM_P_INTRA = 0.4
+SBM_P_INTER = 0.05
 
 
 def _filter_diagnostics(graph, num_clusters, precision, threshold):
@@ -46,74 +62,138 @@ def _filter_diagnostics(graph, num_clusters, precision, threshold):
     return rmse, leakage
 
 
+def _trial_seed(point, trial, base_seed) -> int:
+    """The historical F2 per-trial seed formula (records stay identical)."""
+    return base_seed + 31 * trial + point["p"]
+
+
+def _trial(
+    point,
+    trial,
+    seed,
+    rng,
+    num_nodes,
+    num_clusters,
+    shots,
+    include_circuit,
+    circuit_num_nodes,
+) -> list[TrialRecord]:
+    """One F2 trial: analytic fit + filter diagnostics (+ circuit check)."""
+    precision = point["p"]
+    records = []
+    graph, truth = mixed_sbm(
+        num_nodes, num_clusters, p_intra=SBM_P_INTRA, p_inter=SBM_P_INTER, seed=seed
+    )
+    ensure_connected(graph, seed=seed)
+    config = QSCConfig(precision_bits=precision, shots=shots, seed=seed)
+    result = QuantumSpectralClustering(num_clusters, config).fit(graph)
+    rmse, leakage = _filter_diagnostics(
+        graph, num_clusters, precision, result.threshold
+    )
+    records.append(
+        TrialRecord(
+            experiment="F2",
+            method="quantum-analytic",
+            parameters={"p": precision},
+            seed=seed,
+            ari=adjusted_rand_index(truth, result.labels),
+            accuracy=matched_accuracy(truth, result.labels),
+            extra={"eig_rmse": rmse, "bulk_leakage": leakage},
+        )
+    )
+    if include_circuit and precision <= 6:
+        small_graph, small_truth = mixed_sbm(
+            circuit_num_nodes,
+            num_clusters,
+            p_intra=0.7,
+            p_inter=0.05,
+            seed=seed,
+        )
+        ensure_connected(small_graph, seed=seed)
+        circuit_config = QSCConfig(
+            backend="circuit",
+            precision_bits=precision,
+            shots=shots,
+            seed=seed,
+        )
+        circuit_labels = (
+            QuantumSpectralClustering(num_clusters, circuit_config)
+            .fit(small_graph)
+            .labels
+        )
+        records.append(
+            TrialRecord(
+                experiment="F2",
+                method="quantum-circuit",
+                parameters={"p": precision},
+                seed=seed,
+                ari=adjusted_rand_index(small_truth, circuit_labels),
+                accuracy=matched_accuracy(small_truth, circuit_labels),
+            )
+        )
+    return records
+
+
+def spec(
+    precisions=DEFAULT_PRECISIONS,
+    num_nodes: int = 48,
+    num_clusters: int = 2,
+    trials: int = DEFAULT_TRIALS,
+    shots: int = 1024,
+    base_seed: int = DEFAULT_BASE_SEED,
+    include_circuit: bool = False,
+    circuit_num_nodes: int = 12,
+) -> SweepSpec:
+    """The declarative F2 sweep (same knobs as :func:`run`)."""
+    return SweepSpec(
+        name="fig2",
+        artifact="Figure 2",
+        description="QPE precision sweep: quantization error, bulk leakage, ARI",
+        axes=(SweepAxis("p", tuple(precisions)),),
+        trial=_trial,
+        seed=_trial_seed,
+        base_seed=base_seed,
+        trials=trials,
+        fixed={
+            "num_nodes": num_nodes,
+            "num_clusters": num_clusters,
+            "shots": shots,
+            "include_circuit": include_circuit,
+            "circuit_num_nodes": circuit_num_nodes,
+        },
+        render=series,
+    )
+
+
 def run(
     precisions=DEFAULT_PRECISIONS,
     num_nodes: int = 48,
     num_clusters: int = 2,
     trials: int = DEFAULT_TRIALS,
     shots: int = 1024,
-    base_seed: int = 700,
+    base_seed: int = DEFAULT_BASE_SEED,
     include_circuit: bool = False,
     circuit_num_nodes: int = 12,
+    jobs: int = 1,
 ) -> list[TrialRecord]:
-    """Run the F2 precision sweep (analytic backend, optional circuit runs)."""
-    records = []
-    for precision in precisions:
-        for trial in range(trials):
-            seed = base_seed + 31 * trial + precision
-            graph, truth = mixed_sbm(
-                num_nodes, num_clusters, p_intra=0.4, p_inter=0.05, seed=seed
-            )
-            ensure_connected(graph, seed=seed)
-            config = QSCConfig(
-                precision_bits=precision, shots=shots, seed=seed
-            )
-            result = QuantumSpectralClustering(num_clusters, config).fit(graph)
-            rmse, leakage = _filter_diagnostics(
-                graph, num_clusters, precision, result.threshold
-            )
-            records.append(
-                TrialRecord(
-                    experiment="F2",
-                    method="quantum-analytic",
-                    parameters={"p": precision},
-                    seed=seed,
-                    ari=adjusted_rand_index(truth, result.labels),
-                    accuracy=matched_accuracy(truth, result.labels),
-                    extra={"eig_rmse": rmse, "bulk_leakage": leakage},
-                )
-            )
-            if include_circuit and precision <= 6:
-                small_graph, small_truth = mixed_sbm(
-                    circuit_num_nodes,
-                    num_clusters,
-                    p_intra=0.7,
-                    p_inter=0.05,
-                    seed=seed,
-                )
-                ensure_connected(small_graph, seed=seed)
-                circuit_config = QSCConfig(
-                    backend="circuit",
-                    precision_bits=precision,
-                    shots=shots,
-                    seed=seed,
-                )
-                circuit_labels = (
-                    QuantumSpectralClustering(num_clusters, circuit_config)
-                    .fit(small_graph)
-                    .labels
-                )
-                records.append(
-                    TrialRecord(
-                        experiment="F2",
-                        method="quantum-circuit",
-                        parameters={"p": precision},
-                        seed=seed,
-                        ari=adjusted_rand_index(small_truth, circuit_labels),
-                        accuracy=matched_accuracy(small_truth, circuit_labels),
-                    )
-                )
-    return records
+    """Run the F2 precision sweep through the sweep engine."""
+    return (
+        SweepRunner(
+            spec(
+                precisions=precisions,
+                num_nodes=num_nodes,
+                num_clusters=num_clusters,
+                trials=trials,
+                shots=shots,
+                base_seed=base_seed,
+                include_circuit=include_circuit,
+                circuit_num_nodes=circuit_num_nodes,
+            ),
+            jobs=jobs,
+        )
+        .run()
+        .records
+    )
 
 
 def series(records: list[TrialRecord]) -> str:

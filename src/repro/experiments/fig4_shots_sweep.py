@@ -1,9 +1,18 @@
-"""Experiment F4 — accuracy versus tomography shot budget.
+"""Experiment F4 — reproduces **Figure 4** of the paper: clustering
+accuracy versus the tomography shot budget.
 
-Sweeps the per-node measurement budget.  Expected shape: ARI rises with
-shots and saturates at the exact-readout ceiling (shots = 0 is the
-noiseless reference); the embedding error alongside follows the 1/√shots
-tomography law.
+Swept knobs: the per-node measurement budget ``shots`` (the only axis)
+over per-trial seeds; fixed knobs: graph size, cluster count and QPE
+precision.  The sweep runs through
+:class:`repro.experiments.runner.SweepRunner`.
+
+Expected shape: ARI rises with shots and saturates at the exact-readout
+ceiling (shots = 0 is the noiseless reference); the embedding error
+alongside follows the 1/√shots tomography law.
+
+Each trial fits the pipeline twice on the same graph — noiseless
+reference, then finite shots — so the second fit's eigendecomposition and
+QPE kernel come straight from the spectral cache.
 """
 
 from __future__ import annotations
@@ -12,11 +21,79 @@ import numpy as np
 
 from repro.core import QSCConfig, QuantumSpectralClustering
 from repro.experiments.common import TrialRecord, aggregate, render_markdown_table
+from repro.experiments.runner import SweepAxis, SweepRunner, SweepSpec
 from repro.graphs import ensure_connected, mixed_sbm
 from repro.metrics import adjusted_rand_index, matched_accuracy
 
 DEFAULT_SHOTS = (16, 64, 256, 1024, 4096)
 DEFAULT_TRIALS = 5
+DEFAULT_BASE_SEED = 1100
+
+
+def _trial_seed(point, trial, base_seed) -> int:
+    """The historical F4 per-trial seed formula (records stay identical)."""
+    return base_seed + 53 * trial + point["shots"]
+
+
+def _trial(
+    point, trial, seed, rng, num_nodes, num_clusters, precision_bits
+) -> list[TrialRecord]:
+    """One F4 trial: noiseless reference fit + finite-shot fit."""
+    shots = point["shots"]
+    graph, truth = mixed_sbm(
+        num_nodes, num_clusters, p_intra=0.4, p_inter=0.05, seed=seed
+    )
+    ensure_connected(graph, seed=seed)
+    noiseless = QuantumSpectralClustering(
+        num_clusters,
+        QSCConfig(precision_bits=precision_bits, shots=0, seed=seed),
+    ).fit(graph)
+    noisy = QuantumSpectralClustering(
+        num_clusters,
+        QSCConfig(precision_bits=precision_bits, shots=shots, seed=seed),
+    ).fit(graph)
+    embedding_error = float(
+        np.linalg.norm(noisy.embedding - noiseless.embedding)
+        / max(np.linalg.norm(noiseless.embedding), 1e-12)
+    )
+    return [
+        TrialRecord(
+            experiment="F4",
+            method="quantum-analytic",
+            parameters={"shots": shots},
+            seed=seed,
+            ari=adjusted_rand_index(truth, noisy.labels),
+            accuracy=matched_accuracy(truth, noisy.labels),
+            extra={"embedding_error": embedding_error},
+        )
+    ]
+
+
+def spec(
+    shot_budgets=DEFAULT_SHOTS,
+    num_nodes: int = 48,
+    num_clusters: int = 2,
+    trials: int = DEFAULT_TRIALS,
+    precision_bits: int = 7,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> SweepSpec:
+    """The declarative F4 sweep (same knobs as :func:`run`)."""
+    return SweepSpec(
+        name="fig4",
+        artifact="Figure 4",
+        description="Tomography shot-budget sweep: ARI and embedding error",
+        axes=(SweepAxis("shots", tuple(shot_budgets)),),
+        trial=_trial,
+        seed=_trial_seed,
+        base_seed=base_seed,
+        trials=trials,
+        fixed={
+            "num_nodes": num_nodes,
+            "num_clusters": num_clusters,
+            "precision_bits": precision_bits,
+        },
+        render=series,
+    )
 
 
 def run(
@@ -25,41 +102,25 @@ def run(
     num_clusters: int = 2,
     trials: int = DEFAULT_TRIALS,
     precision_bits: int = 7,
-    base_seed: int = 1100,
+    base_seed: int = DEFAULT_BASE_SEED,
+    jobs: int = 1,
 ) -> list[TrialRecord]:
-    """Run the F4 shots sweep (analytic backend)."""
-    records = []
-    for shots in shot_budgets:
-        for trial in range(trials):
-            seed = base_seed + 53 * trial + shots
-            graph, truth = mixed_sbm(
-                num_nodes, num_clusters, p_intra=0.4, p_inter=0.05, seed=seed
-            )
-            ensure_connected(graph, seed=seed)
-            noiseless = QuantumSpectralClustering(
-                num_clusters,
-                QSCConfig(precision_bits=precision_bits, shots=0, seed=seed),
-            ).fit(graph)
-            noisy = QuantumSpectralClustering(
-                num_clusters,
-                QSCConfig(precision_bits=precision_bits, shots=shots, seed=seed),
-            ).fit(graph)
-            embedding_error = float(
-                np.linalg.norm(noisy.embedding - noiseless.embedding)
-                / max(np.linalg.norm(noiseless.embedding), 1e-12)
-            )
-            records.append(
-                TrialRecord(
-                    experiment="F4",
-                    method="quantum-analytic",
-                    parameters={"shots": shots},
-                    seed=seed,
-                    ari=adjusted_rand_index(truth, noisy.labels),
-                    accuracy=matched_accuracy(truth, noisy.labels),
-                    extra={"embedding_error": embedding_error},
-                )
-            )
-    return records
+    """Run the F4 shots sweep through the sweep engine."""
+    return (
+        SweepRunner(
+            spec(
+                shot_budgets=shot_budgets,
+                num_nodes=num_nodes,
+                num_clusters=num_clusters,
+                trials=trials,
+                precision_bits=precision_bits,
+                base_seed=base_seed,
+            ),
+            jobs=jobs,
+        )
+        .run()
+        .records
+    )
 
 
 def series(records: list[TrialRecord]) -> str:

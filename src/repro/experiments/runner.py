@@ -1,0 +1,464 @@
+"""The unified experiment sweep engine.
+
+Every paper artifact (fig1–fig4, table1–table2) used to reproduce itself
+with a bespoke serial double loop that rebuilt the graph and re-ran the
+full eigendecomposition per trial.  This module replaces those loops with
+one declarative subsystem:
+
+* :class:`SweepSpec` — a frozen description of a sweep: named axes, a
+  per-trial function, the experiment's (legacy-compatible) seed derivation
+  and fixed parameters.  Each experiment module exposes a ``spec(...)``
+  factory building its own.
+* :class:`SweepRunner` — executes a spec's cartesian task grid either
+  serially or across a process pool (``jobs > 1``).  Per-task RNG streams
+  are spawned up front with :func:`repro.utils.rng.spawn_rngs` and results
+  are reassembled in task order, so serial and parallel runs are
+  bit-identical at a fixed seed.  Workers share the process-local spectral
+  cache of :mod:`repro.core.qpe_engine`; hit/miss deltas are aggregated
+  into the result.
+* :func:`write_artifact` / :func:`validate_artifact` — every sweep can be
+  serialized to one JSON artifact of schema :data:`ARTIFACT_SCHEMA`, which
+  the ``repro experiments`` CLI emits and CI validates.
+
+Determinism contract: a task's trial seed depends only on (point, trial,
+base_seed) via the spec's ``seed`` function, and its RNG stream only on
+(base_seed, task index) — never on scheduling.  Experiment modules keep
+their historical integer-seed formulas, so sweeps produce the same records
+they did under the hand-rolled loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.qpe_engine import spectral_cache_stats
+from repro.exceptions import ExperimentError
+from repro.experiments.common import TrialRecord
+from repro.utils.rng import spawn_rngs
+
+#: Version tag of the JSON artifact layout written by :func:`write_artifact`.
+ARTIFACT_SCHEMA = "repro.sweep/1"
+
+_CACHE_COUNTERS = ("hits", "misses", "evictions")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a name and the tuple of values it takes."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if not self.name:
+            raise ExperimentError("axis name must be non-empty")
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ExperimentError(f"axis {self.name!r} has no values")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a point on the axis grid and a trial index."""
+
+    index: int
+    point: dict
+    trial: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one experiment sweep.
+
+    Attributes
+    ----------
+    name:
+        Registry key and artifact file stem (e.g. ``"fig2"``).
+    artifact:
+        The paper artifact this sweep reproduces (e.g. ``"Figure 2"``).
+    description:
+        One-line summary shown by ``repro experiments --list``.
+    axes:
+        Swept parameters; the task grid is their cartesian product in axis
+        order (first axis outermost), matching the historical loop nesting.
+    trial:
+        ``trial(point, trial_index, seed, rng, **fixed) -> list[TrialRecord]``.
+        Must be a module-level function so tasks can cross process
+        boundaries.  ``rng`` is the task's spawned stream; the refactored
+        paper experiments ignore it and derive everything from the integer
+        ``seed`` to stay record-identical with their pre-runner outputs.
+    seed:
+        ``seed(point, trial_index, base_seed) -> int`` — the experiment's
+        per-trial seed derivation (each module keeps its legacy formula).
+    base_seed:
+        Master seed: feeds ``seed`` and the spawned per-task RNG streams.
+    trials:
+        Trials per grid point.
+    fixed:
+        Non-swept keyword parameters forwarded to every ``trial`` call.
+    render:
+        Optional ``render(records) -> str`` producing the markdown
+        table/series quoted in the docs; stored in the JSON artifact.
+    """
+
+    name: str
+    artifact: str
+    description: str
+    axes: tuple[SweepAxis, ...]
+    trial: Callable
+    seed: Callable
+    base_seed: int
+    trials: int = 1
+    fixed: dict = field(default_factory=dict)
+    render: Callable | None = None
+
+    def __post_init__(self):
+        if self.trials < 1:
+            raise ExperimentError(f"trials must be >= 1, got {self.trials}")
+        if not self.axes:
+            raise ExperimentError(f"sweep {self.name!r} has no axes")
+
+    def points(self) -> list[dict]:
+        """The axis grid: one dict per point, first axis outermost."""
+        names = [axis.name for axis in self.axes]
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(axis.values for axis in self.axes))
+        ]
+
+    def tasks(self) -> list[SweepTask]:
+        """The full task list in deterministic execution order."""
+        tasks = []
+        for point in self.points():
+            for trial in range(self.trials):
+                tasks.append(
+                    SweepTask(
+                        index=len(tasks),
+                        point=point,
+                        trial=trial,
+                        seed=int(self.seed(point, trial, self.base_seed)),
+                    )
+                )
+        return tasks
+
+    def with_updates(self, **kwargs) -> "SweepSpec":
+        """A modified copy — how the CLI applies ``--trials`` overrides."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one sweep execution produced.
+
+    ``records`` is the flat list of :class:`TrialRecord` rows in task
+    order — independent of ``jobs``, bit-identical between serial and
+    parallel runs.  ``cache`` holds the spectral-cache hit/miss/eviction
+    deltas accumulated across all worker processes.
+    """
+
+    spec: SweepSpec
+    records: list
+    jobs: int
+    elapsed_seconds: float
+    cache: dict
+
+    def rendered(self) -> str | None:
+        """The spec's markdown rendering of the records (if it has one)."""
+        if self.spec.render is None:
+            return None
+        return self.spec.render(self.records)
+
+    def to_artifact(self) -> dict:
+        """The JSON-serializable artifact dictionary (validated schema)."""
+        artifact = {
+            "schema": ARTIFACT_SCHEMA,
+            "name": self.spec.name,
+            "artifact": self.spec.artifact,
+            "description": self.spec.description,
+            "spec": {
+                "axes": {
+                    axis.name: [_jsonable(v) for v in axis.values]
+                    for axis in self.spec.axes
+                },
+                "trials": self.spec.trials,
+                "base_seed": self.spec.base_seed,
+                "fixed": _jsonable(dict(self.spec.fixed)),
+            },
+            "jobs": self.jobs,
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "cache": {k: int(self.cache.get(k, 0)) for k in _CACHE_COUNTERS},
+            "records": [_record_dict(record) for record in self.records],
+            "table": self.rendered(),
+        }
+        validate_artifact(artifact)
+        return artifact
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    return value
+
+
+def _record_dict(record: TrialRecord) -> dict:
+    """One artifact row for a :class:`TrialRecord`."""
+    return {
+        "experiment": record.experiment,
+        "method": record.method,
+        "parameters": _jsonable(record.parameters),
+        "seed": int(record.seed),
+        "ari": None if record.ari is None else float(record.ari),
+        "accuracy": None if record.accuracy is None else float(record.accuracy),
+        "extra": _jsonable(record.extra),
+    }
+
+
+# -- execution ------------------------------------------------------------
+
+
+def _execute_task(spec: SweepSpec, task: SweepTask, rng) -> tuple:
+    """Run one task; returns (index, records, cache-stats delta).
+
+    Module-level so process-pool workers can unpickle it.  The spectral
+    cache delta is measured *inside* the executing process, bracketing the
+    trial call, so the accounting is exact regardless of multiprocessing
+    start method (fork workers inherit nonzero counters, spawn workers
+    start at zero — a delta is correct either way).
+    """
+    before = spectral_cache_stats()
+    records = list(spec.trial(task.point, task.trial, task.seed, rng, **spec.fixed))
+    after = spectral_cache_stats()
+    for record in records:
+        if not isinstance(record, TrialRecord):
+            raise ExperimentError(
+                f"sweep {spec.name!r} trial returned {type(record).__name__}, "
+                "expected TrialRecord"
+            )
+    delta = {
+        key: after.get(key, 0) - before.get(key, 0) for key in _CACHE_COUNTERS
+    }
+    return task.index, records, delta
+
+
+class SweepRunner:
+    """Executes a :class:`SweepSpec` serially or across a process pool.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run.
+    jobs:
+        Worker process count.  ``1`` (default) runs in-process; ``N > 1``
+        fans tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        Output is bit-identical either way: seeds and RNG streams are fixed
+        per task before any scheduling happens, and records are reassembled
+        in task order.
+    """
+
+    def __init__(self, spec: SweepSpec, jobs: int = 1):
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.spec = spec
+        self.jobs = int(jobs)
+
+    def run(self) -> SweepResult:
+        """Execute every task of the spec and assemble the result."""
+        tasks = self.spec.tasks()
+        # One independent, deterministic RNG stream per task, spawned from
+        # the spec's base seed — identical whether consumed here or in a
+        # worker process, which is what makes --jobs reproducible.
+        rngs = spawn_rngs(self.spec.base_seed, len(tasks))
+        start = time.perf_counter()
+        if self.jobs == 1 or len(tasks) <= 1:
+            outcomes = [
+                _execute_task(self.spec, task, rng)
+                for task, rng in zip(tasks, rngs)
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                outcomes = list(
+                    pool.map(
+                        _execute_task,
+                        itertools.repeat(self.spec),
+                        tasks,
+                        rngs,
+                    )
+                )
+        elapsed = time.perf_counter() - start
+        by_index: dict[int, list] = {}
+        cache = {key: 0 for key in _CACHE_COUNTERS}
+        for index, records, delta in outcomes:
+            by_index[index] = records
+            for key in _CACHE_COUNTERS:
+                cache[key] += delta[key]
+        records = [
+            record
+            for index in sorted(by_index)
+            for record in by_index[index]
+        ]
+        return SweepResult(
+            spec=self.spec,
+            records=records,
+            jobs=self.jobs,
+            elapsed_seconds=elapsed,
+            cache=cache,
+        )
+
+
+# -- JSON artifacts -------------------------------------------------------
+
+
+def validate_artifact(artifact: dict) -> dict:
+    """Check an artifact dictionary against :data:`ARTIFACT_SCHEMA`.
+
+    Raises :class:`~repro.exceptions.ExperimentError` describing the first
+    violation; returns the artifact unchanged when valid.  This is the
+    contract the CI ``experiments-smoke`` step enforces.
+    """
+    if not isinstance(artifact, dict):
+        raise ExperimentError("artifact must be a JSON object")
+    if artifact.get("schema") != ARTIFACT_SCHEMA:
+        raise ExperimentError(
+            f"artifact schema must be {ARTIFACT_SCHEMA!r}, "
+            f"got {artifact.get('schema')!r}"
+        )
+    for key, kind in (
+        ("name", str),
+        ("artifact", str),
+        ("description", str),
+        ("spec", dict),
+        ("jobs", int),
+        ("elapsed_seconds", (int, float)),
+        ("cache", dict),
+        ("records", list),
+    ):
+        if not isinstance(artifact.get(key), kind):
+            raise ExperimentError(f"artifact field {key!r} missing or mistyped")
+    spec = artifact["spec"]
+    for key, kind in (
+        ("axes", dict),
+        ("trials", int),
+        ("base_seed", int),
+        ("fixed", dict),
+    ):
+        if not isinstance(spec.get(key), kind):
+            raise ExperimentError(f"artifact spec field {key!r} missing or mistyped")
+    if not spec["axes"]:
+        raise ExperimentError("artifact spec has no axes")
+    for counter in _CACHE_COUNTERS:
+        if not isinstance(artifact["cache"].get(counter), int):
+            raise ExperimentError(f"artifact cache counter {counter!r} missing")
+    if not artifact["records"]:
+        raise ExperimentError("artifact has no records")
+    for position, record in enumerate(artifact["records"]):
+        if not isinstance(record, dict):
+            raise ExperimentError(f"record #{position} is not an object")
+        for key, kind in (
+            ("experiment", str),
+            ("method", str),
+            ("parameters", dict),
+            ("seed", int),
+            ("extra", dict),
+        ):
+            if not isinstance(record.get(key), kind):
+                raise ExperimentError(
+                    f"record #{position} field {key!r} missing or mistyped"
+                )
+        for key in ("ari", "accuracy"):
+            value = record.get(key)
+            if value is not None and not isinstance(value, (int, float)):
+                raise ExperimentError(
+                    f"record #{position} field {key!r} must be a number or null"
+                )
+    table = artifact.get("table")
+    if table is not None and not isinstance(table, str):
+        raise ExperimentError("artifact table must be a string or null")
+    return artifact
+
+
+def validate_artifact_file(path) -> dict:
+    """Load a JSON artifact from ``path`` and validate it."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_artifact(json.load(handle))
+
+
+def write_artifact(
+    result: SweepResult, out_dir, artifact: dict | None = None
+) -> pathlib.Path:
+    """Serialize a sweep result to ``<out_dir>/<spec.name>.json``.
+
+    The directory is created if needed; the artifact is validated before
+    anything touches disk.  Pass ``artifact`` to reuse a dictionary you
+    already obtained from :meth:`SweepResult.to_artifact` (rendering the
+    table can be the expensive part of large sweeps); it is re-validated
+    here either way.
+    """
+    if artifact is None:
+        artifact = result.to_artifact()
+    else:
+        validate_artifact(artifact)
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.spec.name}.json"
+    path.write_text(
+        json.dumps(artifact, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+# -- registry -------------------------------------------------------------
+
+
+def registry() -> dict:
+    """Name → ``spec(**overrides)`` factory for every paper artifact sweep.
+
+    Built lazily because the experiment modules import this module for
+    :class:`SweepSpec`; importing them at module load would be circular.
+    """
+    from repro.experiments import (
+        fig1_direction_sweep,
+        fig2_precision_sweep,
+        fig3_runtime_scaling,
+        fig4_shots_sweep,
+        table1_msbm,
+        table2_netlist,
+    )
+
+    return {
+        "fig1": fig1_direction_sweep.spec,
+        "fig2": fig2_precision_sweep.spec,
+        "fig3": fig3_runtime_scaling.spec,
+        "fig4": fig4_shots_sweep.spec,
+        "table1": table1_msbm.spec,
+        "table2": table2_netlist.spec,
+    }
+
+
+def get_spec(name: str, **overrides) -> SweepSpec:
+    """Build the named sweep's spec, forwarding factory overrides."""
+    specs = registry()
+    if name not in specs:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {', '.join(sorted(specs))}"
+        )
+    return specs[name](**overrides)

@@ -1,4 +1,10 @@
-"""Experiment T1 — clustering accuracy on mixed stochastic block models.
+"""Experiment T1 — reproduces **Table 1** of the paper: clustering
+accuracy on mixed stochastic block models.
+
+Swept knobs: graph size ``n`` and cluster count ``k`` (two axes, n
+outermost) over per-trial seeds; fixed knobs: QPE precision and shots.
+The sweep runs through :class:`repro.experiments.runner.SweepRunner` and
+evaluates the full six-method comparison panel per trial.
 
 The headline comparison table: quantum spectral clustering versus the exact
 classical Hermitian pipeline and the direction-blind / directed baselines,
@@ -19,11 +25,67 @@ from repro.experiments.common import (
     render_markdown_table,
     standard_methods,
 )
+from repro.experiments.runner import SweepAxis, SweepRunner, SweepSpec
 from repro.graphs import ensure_connected, mixed_sbm
 
 DEFAULT_SIZES = (32, 64, 128)
 DEFAULT_CLUSTERS = (2, 3)
 DEFAULT_TRIALS = 5
+DEFAULT_BASE_SEED = 100
+
+
+def _trial_seed(point, trial, base_seed) -> int:
+    """The historical T1 per-trial seed formula (records stay identical)."""
+    return base_seed + 7919 * trial + point["n"] + point["k"]
+
+
+def _trial(point, trial, seed, rng, precision_bits, shots) -> list[TrialRecord]:
+    """One T1 trial: the full method panel on one mixed SBM instance."""
+    num_nodes, num_clusters = point["n"], point["k"]
+    graph, truth = mixed_sbm(
+        num_nodes,
+        num_clusters,
+        p_intra=0.4,
+        p_inter=0.05,
+        seed=seed,
+    )
+    ensure_connected(graph, seed=seed)
+    config = QSCConfig(precision_bits=precision_bits, shots=shots, seed=seed)
+    methods = standard_methods(num_clusters, seed, config)
+    return evaluate_methods(
+        "T1",
+        methods,
+        graph,
+        truth,
+        {"n": num_nodes, "k": num_clusters},
+        seed,
+    )
+
+
+def spec(
+    sizes=DEFAULT_SIZES,
+    cluster_counts=DEFAULT_CLUSTERS,
+    trials: int = DEFAULT_TRIALS,
+    precision_bits: int = 7,
+    shots: int = 1024,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> SweepSpec:
+    """The declarative T1 sweep (same knobs as :func:`run`)."""
+    return SweepSpec(
+        name="table1",
+        artifact="Table 1",
+        description="Mixed-SBM comparison table over sizes and cluster counts",
+        axes=(
+            SweepAxis("n", tuple(sizes)),
+            SweepAxis("k", tuple(cluster_counts)),
+        ),
+        trial=_trial,
+        seed=_trial_seed,
+        base_seed=base_seed,
+        trials=trials,
+        fixed={"precision_bits": precision_bits, "shots": shots},
+        render=table,
+    )
 
 
 def run(
@@ -32,37 +94,25 @@ def run(
     trials: int = DEFAULT_TRIALS,
     precision_bits: int = 7,
     shots: int = 1024,
-    base_seed: int = 100,
+    base_seed: int = DEFAULT_BASE_SEED,
+    jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the T1 sweep and return one record per (method, instance)."""
-    records = []
-    for num_nodes in sizes:
-        for num_clusters in cluster_counts:
-            for trial in range(trials):
-                seed = base_seed + 7919 * trial + num_nodes + num_clusters
-                graph, truth = mixed_sbm(
-                    num_nodes,
-                    num_clusters,
-                    p_intra=0.4,
-                    p_inter=0.05,
-                    seed=seed,
-                )
-                ensure_connected(graph, seed=seed)
-                config = QSCConfig(
-                    precision_bits=precision_bits, shots=shots, seed=seed
-                )
-                methods = standard_methods(num_clusters, seed, config)
-                records.extend(
-                    evaluate_methods(
-                        "T1",
-                        methods,
-                        graph,
-                        truth,
-                        {"n": num_nodes, "k": num_clusters},
-                        seed,
-                    )
-                )
-    return records
+    return (
+        SweepRunner(
+            spec(
+                sizes=sizes,
+                cluster_counts=cluster_counts,
+                trials=trials,
+                precision_bits=precision_bits,
+                shots=shots,
+                base_seed=base_seed,
+            ),
+            jobs=jobs,
+        )
+        .run()
+        .records
+    )
 
 
 def table(records: list[TrialRecord]) -> str:

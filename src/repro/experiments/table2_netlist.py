@@ -1,4 +1,12 @@
-"""Experiment T2 — netlist module partitioning (the DAC workload).
+"""Experiment T2 — reproduces **Table 2** of the paper: netlist module
+partitioning (the DAC workload).
+
+Swept knobs: the module count of the synthetic netlists (the only axis)
+over per-trial seeds; fixed knobs: gates per module, QPE precision, shots
+and the netlist arc phase θ = π/4.  The sweep runs through
+:class:`repro.experiments.runner.SweepRunner` and evaluates the full
+six-method comparison panel per trial; :func:`c17_partition` adds the
+embedded ISCAS-85 c17 circuit as a no-ground-truth sanity target.
 
 Synthetic hierarchical netlists with known module structure, converted to
 mixed graphs with clique-expanded nets, plus the embedded ISCAS-85 c17
@@ -21,12 +29,79 @@ from repro.experiments.common import (
     render_markdown_table,
     standard_methods,
 )
+from repro.experiments.runner import SweepAxis, SweepRunner, SweepSpec
 from repro.graphs import ensure_connected, load_c17, synthetic_netlist
 from repro.metrics import partition_summary
 
 NETLIST_THETA = float(np.pi / 4)
 DEFAULT_MODULES = (2, 3, 4)
 DEFAULT_TRIALS = 5
+DEFAULT_BASE_SEED = 300
+
+
+def _trial_seed(point, trial, base_seed) -> int:
+    """The historical T2 per-trial seed formula (records stay identical)."""
+    return base_seed + 104729 * trial + point["modules"]
+
+
+def _trial(
+    point, trial, seed, rng, gates_per_module, precision_bits, shots
+) -> list[TrialRecord]:
+    """One T2 trial: the method panel on one synthetic netlist instance."""
+    num_modules = point["modules"]
+    netlist = synthetic_netlist(
+        num_modules,
+        gates_per_module,
+        internal_fanin=3,
+        cross_module_nets=2,
+        feedback_registers=3,
+        seed=seed,
+    )
+    graph = netlist.to_mixed_graph(net_cliques=True)
+    ensure_connected(graph, seed=seed)
+    truth = netlist.module_labels()
+    config = QSCConfig(
+        precision_bits=precision_bits,
+        shots=shots,
+        theta=NETLIST_THETA,
+        seed=seed,
+    )
+    methods = standard_methods(num_modules, seed, config, theta=NETLIST_THETA)
+    return evaluate_methods(
+        "T2",
+        methods,
+        graph,
+        truth,
+        {"modules": num_modules, "n": graph.num_nodes},
+        seed,
+    )
+
+
+def spec(
+    module_counts=DEFAULT_MODULES,
+    gates_per_module: int = 14,
+    trials: int = DEFAULT_TRIALS,
+    precision_bits: int = 7,
+    shots: int = 2048,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> SweepSpec:
+    """The declarative T2 sweep (same knobs as :func:`run`)."""
+    return SweepSpec(
+        name="table2",
+        artifact="Table 2",
+        description="Synthetic-netlist partitioning table over module counts",
+        axes=(SweepAxis("modules", tuple(module_counts)),),
+        trial=_trial,
+        seed=_trial_seed,
+        base_seed=base_seed,
+        trials=trials,
+        fixed={
+            "gates_per_module": gates_per_module,
+            "precision_bits": precision_bits,
+            "shots": shots,
+        },
+        render=table,
+    )
 
 
 def run(
@@ -35,44 +110,25 @@ def run(
     trials: int = DEFAULT_TRIALS,
     precision_bits: int = 7,
     shots: int = 2048,
-    base_seed: int = 300,
+    base_seed: int = DEFAULT_BASE_SEED,
+    jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the T2 sweep over module counts and seeds."""
-    records = []
-    for num_modules in module_counts:
-        for trial in range(trials):
-            seed = base_seed + 104729 * trial + num_modules
-            netlist = synthetic_netlist(
-                num_modules,
-                gates_per_module,
-                internal_fanin=3,
-                cross_module_nets=2,
-                feedback_registers=3,
-                seed=seed,
-            )
-            graph = netlist.to_mixed_graph(net_cliques=True)
-            ensure_connected(graph, seed=seed)
-            truth = netlist.module_labels()
-            config = QSCConfig(
+    return (
+        SweepRunner(
+            spec(
+                module_counts=module_counts,
+                gates_per_module=gates_per_module,
+                trials=trials,
                 precision_bits=precision_bits,
                 shots=shots,
-                theta=NETLIST_THETA,
-                seed=seed,
-            )
-            methods = standard_methods(
-                num_modules, seed, config, theta=NETLIST_THETA
-            )
-            records.extend(
-                evaluate_methods(
-                    "T2",
-                    methods,
-                    graph,
-                    truth,
-                    {"modules": num_modules, "n": graph.num_nodes},
-                    seed,
-                )
-            )
-    return records
+                base_seed=base_seed,
+            ),
+            jobs=jobs,
+        )
+        .run()
+        .records
+    )
 
 
 def c17_partition(num_clusters: int = 2, seed: int = 0) -> dict:

@@ -1,0 +1,226 @@
+"""Tests for the unified sweep engine (``repro.experiments.runner``)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import fig2_precision_sweep, fig4_shots_sweep
+from repro.experiments.common import TrialRecord
+from repro.experiments.runner import (
+    ARTIFACT_SCHEMA,
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+    get_spec,
+    registry,
+    validate_artifact,
+    validate_artifact_file,
+    write_artifact,
+)
+
+
+def tiny_trial(point, trial, seed, rng, scale=1.0) -> list:
+    """Deterministic toy trial: one record echoing its coordinates."""
+    return [
+        TrialRecord(
+            experiment="TOY",
+            method="echo",
+            parameters=dict(point),
+            seed=seed,
+            ari=scale * point["x"],
+            accuracy=float(trial),
+            extra={"draw": float(rng.random())},
+        )
+    ]
+
+
+def tiny_seed(point, trial, base_seed) -> int:
+    return base_seed + 10 * trial + point["x"]
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    settings = dict(
+        name="toy",
+        artifact="Toy",
+        description="toy sweep for runner tests",
+        axes=(SweepAxis("x", (1, 2, 3)),),
+        trial=tiny_trial,
+        seed=tiny_seed,
+        base_seed=17,
+        trials=2,
+        fixed={"scale": 2.0},
+    )
+    settings.update(overrides)
+    return SweepSpec(**settings)
+
+
+class TestSweepSpec:
+    def test_points_are_the_cartesian_product_first_axis_outermost(self):
+        spec = tiny_spec(
+            axes=(SweepAxis("a", (1, 2)), SweepAxis("b", ("x", "y")))
+        )
+        assert spec.points() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_tasks_enumerate_trials_within_points(self):
+        tasks = tiny_spec().tasks()
+        assert [(t.point["x"], t.trial) for t in tasks] == [
+            (1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1),
+        ]
+        assert [t.seed for t in tasks] == [18, 28, 19, 29, 20, 30]
+        assert [t.index for t in tasks] == list(range(6))
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(trials=0)
+        with pytest.raises(ExperimentError):
+            tiny_spec(axes=())
+        with pytest.raises(ExperimentError):
+            SweepAxis("x", ())
+
+    def test_with_updates(self):
+        assert tiny_spec().with_updates(trials=7).trials == 7
+
+    def test_legacy_seed_formulas_are_preserved(self):
+        fig2_tasks = fig2_precision_sweep.spec(
+            precisions=(2, 7), trials=2
+        ).tasks()
+        assert [t.seed for t in fig2_tasks] == [702, 733, 707, 738]
+        fig4_tasks = fig4_shots_sweep.spec(
+            shot_budgets=(16, 64), trials=2
+        ).tasks()
+        assert [t.seed for t in fig4_tasks] == [1116, 1169, 1164, 1217]
+
+    def test_fig3_extra_trials_use_distinct_seeds(self):
+        from repro.experiments import fig3_runtime_scaling
+
+        spec = fig3_runtime_scaling.spec(sizes=(32, 64))
+        assert [t.seed for t in spec.tasks()] == [932, 964]  # legacy at trial 0
+        seeds = [t.seed for t in spec.with_updates(trials=3).tasks()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestSweepRunner:
+    def test_records_in_task_order_with_fixed_kwargs(self):
+        result = SweepRunner(tiny_spec()).run()
+        assert [r.parameters["x"] for r in result.records] == [1, 1, 2, 2, 3, 3]
+        assert [r.ari for r in result.records] == [2.0, 2.0, 4.0, 4.0, 6.0, 6.0]
+        assert [r.seed for r in result.records] == [18, 28, 19, 29, 20, 30]
+
+    def test_parallel_is_bit_identical_to_serial(self):
+        spec = tiny_spec()
+        serial = SweepRunner(spec, jobs=1).run()
+        parallel = SweepRunner(spec, jobs=3).run()
+        assert serial.records == parallel.records
+
+    def test_parallel_real_sweep_is_bit_identical_to_serial(self):
+        spec = fig2_precision_sweep.spec(
+            precisions=(2, 5), num_nodes=20, trials=2, shots=64
+        )
+        serial = SweepRunner(spec, jobs=1).run()
+        parallel = SweepRunner(spec, jobs=2).run()
+        assert serial.records == parallel.records
+
+    def test_rng_streams_are_deterministic_and_per_task(self):
+        first = SweepRunner(tiny_spec()).run()
+        second = SweepRunner(tiny_spec()).run()
+        draws = [r.extra["draw"] for r in first.records]
+        assert draws == [r.extra["draw"] for r in second.records]
+        assert len(set(draws)) == len(draws)  # independent streams
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(tiny_spec(), jobs=0)
+
+    def test_trial_must_return_records(self):
+        def bad_trial(point, trial, seed, rng):
+            return ["not a record"]
+
+        spec = tiny_spec(trial=bad_trial, fixed={})
+        with pytest.raises(ExperimentError):
+            SweepRunner(spec).run()
+
+    def test_cache_accounting_for_fig4(self):
+        from repro.core.qpe_engine import clear_spectral_cache
+
+        clear_spectral_cache()
+        spec = fig4_shots_sweep.spec(
+            shot_budgets=(16,), num_nodes=16, trials=1
+        )
+        result = SweepRunner(spec).run()
+        # noiseless fit misses (decomposition + kernel); the finite-shot
+        # fit on the same graph hits both.
+        assert result.cache["hits"] == 2
+        assert result.cache["misses"] == 2
+
+
+class TestArtifacts:
+    def test_roundtrip_validates(self, tmp_path):
+        result = SweepRunner(tiny_spec()).run()
+        path = write_artifact(result, tmp_path)
+        artifact = validate_artifact_file(path)
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["name"] == "toy"
+        assert len(artifact["records"]) == 6
+        assert artifact["records"][0]["parameters"] == {"x": 1}
+        assert artifact["spec"]["axes"] == {"x": [1, 2, 3]}
+        assert json.loads(path.read_text()) == artifact
+
+    def test_none_scores_serialize_as_null(self, tmp_path):
+        def scoreless(point, trial, seed, rng):
+            return [
+                TrialRecord(
+                    experiment="TOY",
+                    method="m",
+                    parameters=dict(point),
+                    seed=seed,
+                    extra={"value": 1.5},
+                )
+            ]
+
+        result = SweepRunner(tiny_spec(trial=scoreless, fixed={})).run()
+        artifact = result.to_artifact()
+        assert artifact["records"][0]["ari"] is None
+
+    def test_validate_rejects_bad_artifacts(self):
+        artifact = SweepRunner(tiny_spec()).run().to_artifact()
+        for mutation in (
+            {"schema": "nope"},
+            {"records": []},
+            {"cache": {}},
+            {"spec": {}},
+            {"table": 7},
+        ):
+            broken = {**artifact, **mutation}
+            with pytest.raises(ExperimentError):
+                validate_artifact(broken)
+        with pytest.raises(ExperimentError):
+            validate_artifact([])
+
+    def test_rendered_table_lands_in_artifact(self):
+        spec = tiny_spec(render=lambda records: f"{len(records)} rows")
+        artifact = SweepRunner(spec).run().to_artifact()
+        assert artifact["table"] == "6 rows"
+
+
+class TestRegistry:
+    def test_all_six_paper_artifacts_registered(self):
+        assert list(registry()) == [
+            "fig1", "fig2", "fig3", "fig4", "table1", "table2",
+        ]
+
+    def test_specs_build_and_name_matches_key(self):
+        for name, factory in registry().items():
+            spec = factory()
+            assert spec.name == name
+            assert spec.axes and spec.description
+
+    def test_get_spec_forwards_overrides(self):
+        assert get_spec("fig2", trials=1).trials == 1
+        with pytest.raises(ExperimentError):
+            get_spec("fig9")

@@ -161,6 +161,39 @@ class TestBenchCommand:
         assert "partition 0:" in out and "partition 1:" in out
 
 
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig2", "fig3", "fig4", "table1", "table2"):
+            assert name in out
+
+    def test_run_writes_valid_artifact(self, tmp_path, capsys):
+        from repro.experiments.runner import validate_artifact_file
+
+        code = main(
+            [
+                "experiments",
+                "--only",
+                "fig1",
+                "--trials",
+                "1",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig1:" in out and "cache hits=" in out
+        artifact = validate_artifact_file(tmp_path / "fig1.json")
+        assert artifact["name"] == "fig1"
+        assert artifact["spec"]["trials"] == 1
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["experiments", "--only", "fig9"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
 class TestSpectrumCommand:
     def test_prints_low_spectrum(self, graph_file, capsys):
         path, _ = graph_file
