@@ -28,9 +28,7 @@ def test_bench_trotter_ablation(benchmark):
 @pytest.mark.benchmark(group="A2")
 def test_bench_theta_ablation(benchmark):
     rows = benchmark.pedantic(
-        lambda: ablations.theta_ablation(
-            thetas=(np.pi / 16, np.pi / 2), trials=3
-        ),
+        lambda: ablations.theta_ablation(thetas=(np.pi / 16, np.pi / 2), trials=3),
         rounds=1,
         iterations=1,
     )
@@ -42,9 +40,7 @@ def test_bench_theta_ablation(benchmark):
 @pytest.mark.benchmark(group="A3")
 def test_bench_noise_ablation(benchmark):
     rows = benchmark.pedantic(
-        lambda: ablations.noise_ablation(
-            depolarizing_rates=(0.0, 0.05), shots=400
-        ),
+        lambda: ablations.noise_ablation(depolarizing_rates=(0.0, 0.05), shots=400),
         rounds=1,
         iterations=1,
     )
@@ -56,9 +52,7 @@ def test_bench_noise_ablation(benchmark):
 @pytest.mark.benchmark(group="A4")
 def test_bench_autok_ablation(benchmark):
     rows = benchmark.pedantic(
-        lambda: ablations.autok_ablation(
-            cluster_counts=(2, 3), trials=2, shots=8192
-        ),
+        lambda: ablations.autok_ablation(cluster_counts=(2, 3), trials=2, shots=8192),
         rounds=1,
         iterations=1,
     )

@@ -106,6 +106,4 @@ def test_bench_precision_sweep(benchmark, quick_trials):
     # ... while end-to-end accuracy is already saturated (robustness
     # finding recorded in EXPERIMENTS.md).
     assert np.mean([r.ari for r in rows(7)]) > 0.85
-    assert np.mean([r.ari for r in rows(7)]) >= np.mean(
-        [r.ari for r in rows(2)]
-    ) - 0.1
+    assert np.mean([r.ari for r in rows(7)]) >= np.mean([r.ari for r in rows(2)]) - 0.1

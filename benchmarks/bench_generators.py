@@ -1,0 +1,59 @@
+"""Benchmark — vectorized (v2) SBM generators versus the legacy pair loop.
+
+PR 3's spectral cache left the seed-locked pure-Python pair loops of
+``mixed_sbm``/``cyclic_flow_sbm`` as the floor of every warm sweep re-run:
+at 1k nodes each generator call walks ~500k node pairs in Python.  The v2
+seed contract (``generator_version="v2"``) samples each cluster block's
+pair set with one chunked Bernoulli array and bulk-inserts the result, so
+generation cost drops to O(edges) NumPy work.
+
+Gates (shared with CI's ``bench-trajectory`` job via ``perf_gates``):
+
+* v2 must be >= 5x faster than v1 for both generators at 1000 nodes
+  (measured ~8-13x on one core);
+* v2 must stay *statistically* faithful to v1 — total connection count
+  within 10% and directed fraction within 0.05 at matched parameters (the
+  distributions are identical; only the stream layout differs).
+"""
+
+import pytest
+from perf_gates import (
+    GENERATOR_NODES,
+    MIN_GENERATOR_SPEEDUP,
+    best_seconds,
+    generator_cases,
+)
+
+
+@pytest.mark.benchmark(group="generators")
+@pytest.mark.parametrize("name", ["mixed_sbm", "cyclic_flow_sbm"])
+def test_bench_generator_vectorization(benchmark, name):
+    build = generator_cases()[name]
+
+    v1_seconds = best_seconds(lambda: build("v1"), repeats=2)
+    benchmark.pedantic(lambda: build("v2"), rounds=3, iterations=1)
+    v2_seconds = best_seconds(lambda: build("v2"))
+
+    speedup = v1_seconds / v2_seconds
+    benchmark.extra_info["v1_seconds"] = v1_seconds
+    benchmark.extra_info["v2_seconds"] = v2_seconds
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= MIN_GENERATOR_SPEEDUP, (
+        f"{name} v2 speedup only {speedup:.2f}x at {GENERATOR_NODES} nodes"
+    )
+
+    # statistical faithfulness: identical per-pair law, so totals at a
+    # common parameter point must agree closely (different seed streams)
+    graph_v1, labels_v1 = build("v1")
+    graph_v2, labels_v2 = build("v2")
+    assert (labels_v1 == labels_v2).all()
+    total_v1 = graph_v1.num_edges + graph_v1.num_arcs
+    total_v2 = graph_v2.num_edges + graph_v2.num_arcs
+    assert abs(total_v1 - total_v2) <= 0.1 * total_v1, (
+        f"{name} v2 connection count drifted: {total_v1} vs {total_v2}"
+    )
+    assert abs(graph_v1.directed_fraction - graph_v2.directed_fraction) <= 0.05, (
+        f"{name} v2 directed fraction drifted: "
+        f"{graph_v1.directed_fraction:.3f} vs "
+        f"{graph_v2.directed_fraction:.3f}"
+    )

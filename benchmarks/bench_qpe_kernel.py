@@ -1,0 +1,51 @@
+"""Benchmark — batched QPE kernel build versus the per-eigenvalue loop.
+
+A spectral-cache miss used to build the QPE response kernel by calling
+``qpe_outcome_distribution`` once per eigenvalue — 2^m Python calls, each
+allocating a handful of 2^p-length temporaries.  The batched
+``qpe_outcome_distributions`` computes the full (eigenvalues × outcomes)
+matrix in one broadcast pass with numerics bit-identical to the loop.
+
+Gates (shared with CI's ``bench-trajectory`` job via ``perf_gates``):
+
+* the batched build must be >= 3x faster than the per-phase loop at
+  1024 phases × 7 ancilla bits (measured ~9-13x);
+* batched and looped kernels must be *exactly* equal (np.array_equal) —
+  the cache serves either form interchangeably.
+"""
+
+import numpy as np
+import pytest
+from perf_gates import (
+    KERNEL_PHASES,
+    KERNEL_PRECISION,
+    MIN_KERNEL_SPEEDUP,
+    batch_kernel_build,
+    best_seconds,
+    kernel_phases,
+    loop_kernel_build,
+)
+
+
+@pytest.mark.benchmark(group="qpe-kernel")
+def test_bench_kernel_build(benchmark):
+    phases = kernel_phases()
+
+    loop_seconds = best_seconds(lambda: loop_kernel_build(phases), repeats=2)
+    benchmark.pedantic(
+        lambda: batch_kernel_build(phases), rounds=3, iterations=1
+    )
+    batch_seconds = best_seconds(lambda: batch_kernel_build(phases))
+
+    speedup = loop_seconds / batch_seconds
+    benchmark.extra_info["loop_seconds"] = loop_seconds
+    benchmark.extra_info["batch_seconds"] = batch_seconds
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= MIN_KERNEL_SPEEDUP, (
+        f"kernel-build speedup only {speedup:.2f}x "
+        f"({KERNEL_PHASES} phases, p={KERNEL_PRECISION})"
+    )
+
+    # the batched matrix is the loop's rows, bit for bit — rows sum to 1
+    assert np.array_equal(loop_kernel_build(phases), batch_kernel_build(phases))
+    assert np.allclose(batch_kernel_build(phases).sum(axis=1), 1.0)

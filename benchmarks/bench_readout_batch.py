@@ -85,9 +85,7 @@ def test_bench_readout_analytic(benchmark):
     accepted = accepted_outcomes(0.3, 6, backend.lambda_scale)
 
     start = time.perf_counter()
-    loop_rows, loop_norms = per_row_loop_readout(
-        backend, accepted, SHOTS, ROW_SEED
-    )
+    loop_rows, loop_norms = per_row_loop_readout(backend, accepted, SHOTS, ROW_SEED)
     loop_seconds = time.perf_counter() - start
 
     result = benchmark.pedantic(
@@ -132,14 +130,10 @@ def test_bench_readout_circuit(benchmark):
         histogram = backend.eigenvalue_histogram(
             HISTOGRAM_SHOTS, ensure_rng(HISTOGRAM_SEED)
         )
-        readout = batched_readout(
-            backend, accepted, SHOTS, ensure_rng(ROW_SEED)
-        )
+        readout = batched_readout(backend, accepted, SHOTS, ensure_rng(ROW_SEED))
         return histogram, readout
 
-    histogram, readout = benchmark.pedantic(
-        batched_pipeline, rounds=3, iterations=1
-    )
+    histogram, readout = benchmark.pedantic(batched_pipeline, rounds=3, iterations=1)
     batch_seconds = benchmark.stats.stats.min
     speedup = loop_seconds / batch_seconds
     print(

@@ -20,9 +20,7 @@ def test_bench_quantum_pipeline_single_instance(benchmark):
     ensure_connected(graph, seed=0)
     config = QSCConfig(precision_bits=7, shots=512, seed=0)
 
-    result = benchmark(
-        lambda: QuantumSpectralClustering(2, config).fit(graph)
-    )
+    result = benchmark(lambda: QuantumSpectralClustering(2, config).fit(graph))
     assert adjusted_rand_index(truth, result.labels) > 0.9
 
 
@@ -31,18 +29,14 @@ def test_bench_classical_pipeline_single_instance(benchmark):
     graph, truth = mixed_sbm(64, 2, p_intra=0.4, p_inter=0.05, seed=0)
     ensure_connected(graph, seed=0)
 
-    result = benchmark(
-        lambda: ClassicalSpectralClustering(2, seed=0).fit(graph)
-    )
+    result = benchmark(lambda: ClassicalSpectralClustering(2, seed=0).fit(graph))
     assert adjusted_rand_index(truth, result.labels) > 0.9
 
 
 @pytest.mark.benchmark(group="T1")
 def test_bench_table1_rows(benchmark, quick_trials):
     records = benchmark.pedantic(
-        lambda: table1_msbm.run(
-            sizes=(32,), cluster_counts=(2,), trials=quick_trials
-        ),
+        lambda: table1_msbm.run(sizes=(32,), cluster_counts=(2,), trials=quick_trials),
         rounds=1,
         iterations=1,
     )

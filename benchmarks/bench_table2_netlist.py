@@ -28,8 +28,6 @@ def test_bench_netlist_partitioning(benchmark, quick_trials):
 
 @pytest.mark.benchmark(group="T2")
 def test_bench_c17_partition(benchmark):
-    summary = benchmark.pedantic(
-        table2_netlist.c17_partition, rounds=1, iterations=1
-    )
+    summary = benchmark.pedantic(table2_netlist.c17_partition, rounds=1, iterations=1)
     assert summary["num_nodes"] == 11
     assert summary["cut_weight"] >= 0

@@ -25,6 +25,10 @@ import sys
 def import_benchmark_modules() -> list[str]:
     """Import each bench_*.py file in this directory; return module names."""
     bench_dir = pathlib.Path(__file__).resolve().parent
+    # bench modules import the shared perf_gates helper as a sibling
+    # (exactly how pytest resolves it); make that work here too
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
     imported = []
     for path in sorted(bench_dir.glob("bench_*.py")):
         name = f"benchmarks_smoke_{path.stem}"

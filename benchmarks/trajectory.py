@@ -1,0 +1,177 @@
+"""CI perf-trajectory runner: smoke-scale benches -> one BENCH_*.json.
+
+The benchmark suite gates the repo's perf wins (generator vectorization,
+batched kernel build, spectral cache), but pytest-benchmark output is not
+a durable record.  This script runs the key measurements at smoke scale,
+enforces the shared gates (thresholds live in ``perf_gates`` so the
+pytest benchmarks and this runner cannot drift), and serializes one JSON
+summary — ``BENCH_pr4.json`` — that CI's ``bench-trajectory`` job uploads
+on every push, seeding the perf trajectory the ROADMAP asks for: any
+regression fails the job, and the artifact series shows the trend across
+PRs.
+
+Gating policy: wall-clock gates compare two timings from the *same* run
+(v1 vs v2, loop vs batch), which is robust on noisy shared runners; the
+spectral cache is gated on its deterministic hit/miss counters, with the
+warm-sweep speedup recorded as data rather than enforced (a single
+scheduler stall in a ~50 ms sweep would otherwise flake CI —
+``benchmarks/bench_fig2_precision.py`` still gates it for local runs).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/trajectory.py --out BENCH_pr4.json
+
+Exit status is non-zero if any gate fails; the JSON is written either way
+so the failing numbers are inspectable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+import numpy as np
+from perf_gates import (
+    GENERATOR_NODES,
+    KERNEL_PHASES,
+    KERNEL_PRECISION,
+    MIN_GENERATOR_SPEEDUP,
+    MIN_KERNEL_SPEEDUP,
+    batch_kernel_build,
+    best_seconds,
+    generator_cases,
+    kernel_phases,
+    loop_kernel_build,
+)
+
+SCHEMA = "repro.bench/1"
+
+
+def measure_generators() -> dict:
+    """v1 vs v2 wall time of both SBM generators at smoke scale."""
+    out = {}
+    for name, build in generator_cases().items():
+        v1 = best_seconds(lambda: build("v1"), repeats=2)
+        v2 = best_seconds(lambda: build("v2"), repeats=3)
+        out[name] = {
+            "num_nodes": GENERATOR_NODES,
+            "v1_seconds": v1,
+            "v2_seconds": v2,
+            "speedup": v1 / v2,
+        }
+    return out
+
+
+def measure_kernel() -> dict:
+    """Per-phase loop vs batched build of the QPE response kernel."""
+    phases = kernel_phases()
+    if not np.array_equal(loop_kernel_build(phases), batch_kernel_build(phases)):
+        raise AssertionError("batched kernel differs from per-phase loop")
+    loop = best_seconds(lambda: loop_kernel_build(phases), repeats=2)
+    batch = best_seconds(lambda: batch_kernel_build(phases), repeats=3)
+    return {
+        "num_phases": KERNEL_PHASES,
+        "precision_bits": KERNEL_PRECISION,
+        "loop_seconds": loop,
+        "batch_seconds": batch,
+        "speedup": loop / batch,
+    }
+
+
+def measure_sweep_cache() -> dict:
+    """Cold vs warm fig2 smoke sweep — the spectral cache's win.
+
+    The warm speedup is recorded for the trajectory; the *gate* is the
+    deterministic counter contract (warm pass fully cache-served,
+    bit-identical records).
+    """
+    from repro.core.qpe_engine import clear_spectral_cache
+    from repro.experiments import fig2_precision_sweep
+    from repro.experiments.runner import SweepRunner
+
+    spec = fig2_precision_sweep.spec(precisions=(2, 7), num_nodes=40, trials=1)
+    runner = SweepRunner(spec)
+    clear_spectral_cache()
+    cold = runner.run()
+    warm = runner.run()
+    if warm.records != cold.records:
+        raise AssertionError("warm sweep records differ from cold")
+    return {
+        "tasks": len(spec.tasks()),
+        "cold_seconds": cold.elapsed_seconds,
+        "warm_seconds": warm.elapsed_seconds,
+        "warm_speedup": cold.elapsed_seconds / warm.elapsed_seconds,
+        "cold_cache": cold.cache,
+        "warm_cache": warm.cache,
+    }
+
+
+def evaluate_gates(results: dict) -> dict:
+    """Gate name -> {threshold, value, passed} for every enforced gate."""
+    gates = {}
+    for name, row in results["generators"].items():
+        gates[f"generator_speedup:{name}"] = {
+            "threshold": MIN_GENERATOR_SPEEDUP,
+            "value": row["speedup"],
+            "passed": row["speedup"] >= MIN_GENERATOR_SPEEDUP,
+        }
+    gates["kernel_build_speedup"] = {
+        "threshold": MIN_KERNEL_SPEEDUP,
+        "value": results["kernel"]["speedup"],
+        "passed": results["kernel"]["speedup"] >= MIN_KERNEL_SPEEDUP,
+    }
+    warm_cache = results["sweep_cache"]["warm_cache"]
+    gates["warm_sweep_fully_cached"] = {
+        "threshold": 0,
+        "value": warm_cache["misses"],
+        "passed": warm_cache["misses"] == 0 and warm_cache["hits"] > 0,
+    }
+    return gates
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="BENCH_pr4.json",
+        metavar="PATH",
+        help="where to write the JSON summary (default: ./BENCH_pr4.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "generators": measure_generators(),
+        "kernel": measure_kernel(),
+        "sweep_cache": measure_sweep_cache(),
+    }
+    gates = evaluate_gates(results)
+    summary = {
+        "schema": SCHEMA,
+        "label": "pr4",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+        "gates": gates,
+        "passed": all(gate["passed"] for gate in gates.values()),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+
+    for name, gate in gates.items():
+        status = "ok" if gate["passed"] else "FAIL"
+        print(
+            f"{status:4s} {name}: {gate['value']:.2f} "
+            f"(threshold {gate['threshold']})"
+        )
+    print(f"wrote {args.out}")
+    if not summary["passed"]:
+        print("perf trajectory gates FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,9 +56,7 @@ def theta_sweep():
     print("\nbias versus theta on the 3-cycle (t = 1.0)")
     cycle = directed_cycle(3)
     for theta in (0.1, np.pi / 4, np.pi / 2, 3 * np.pi / 4):
-        bias = directional_transport_bias(
-            cycle, 0, 1, 2, time=1.0, theta=theta
-        )
+        bias = directional_transport_bias(cycle, 0, 1, 2, time=1.0, theta=theta)
         print(f"theta = {theta:>5.3f}: bias = {bias:+.4f}")
 
 

@@ -45,9 +45,7 @@ def main():
             ensure_connected(graph, seed=seed)
             config = QSCConfig(precision_bits=7, shots=1024, seed=seed)
             quantum = QuantumSpectralClustering(num_stages, config).fit(graph)
-            baseline = SymmetrizedSpectralClustering(num_stages, seed=seed).fit(
-                graph
-            )
+            baseline = SymmetrizedSpectralClustering(num_stages, seed=seed).fit(graph)
             quantum_scores.append(adjusted_rand_index(truth, quantum.labels))
             baseline_scores.append(adjusted_rand_index(truth, baseline.labels))
         print(

@@ -30,21 +30,15 @@ def quantum_auto_k():
     print("=== histogram-only selection of k ===")
     precision = 7
     for k_true in (2, 3, 4):
-        graph, truth = mixed_sbm(
-            40, k_true, p_intra=0.7, p_inter=0.02, seed=k_true
-        )
+        graph, truth = mixed_sbm(40, k_true, p_intra=0.7, p_inter=0.02, seed=k_true)
         ensure_connected(graph, seed=k_true)
         backend = AnalyticQPEBackend(hermitian_laplacian(graph), precision)
-        histogram = backend.eigenvalue_histogram(
-            16384, np.random.default_rng(k_true)
-        )
+        histogram = backend.eigenvalue_histogram(16384, np.random.default_rng(k_true))
         selection = estimate_num_clusters_quantum(
             histogram, graph.num_nodes, precision, backend.lambda_scale
         )
         config = QSCConfig(precision_bits=precision, shots=1024, seed=k_true)
-        result = QuantumSpectralClustering(selection.num_clusters, config).fit(
-            graph
-        )
+        result = QuantumSpectralClustering(selection.num_clusters, config).fit(graph)
         ari = adjusted_rand_index(truth, result.labels)
         print(
             f"true k = {k_true}: selected k = {selection.num_clusters}, "

@@ -40,9 +40,7 @@ def partition_synthetic():
     truth = netlist.module_labels()
     print(f"synthetic netlist: {netlist.num_gates} cells -> {graph}")
 
-    config = QSCConfig(
-        precision_bits=7, shots=2048, theta=NETLIST_THETA, seed=3
-    )
+    config = QSCConfig(precision_bits=7, shots=2048, theta=NETLIST_THETA, seed=3)
     quantum = QuantumSpectralClustering(3, config).fit(graph)
     baseline = SymmetrizedSpectralClustering(3, seed=3).fit(graph)
 

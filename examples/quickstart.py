@@ -18,9 +18,7 @@ from repro import (
 def main():
     # A 64-node mixed graph: dense undirected edges inside two communities,
     # sparse directed arcs (community 0 -> community 1) across.
-    graph, truth = mixed_sbm(
-        64, num_clusters=2, p_intra=0.4, p_inter=0.06, seed=7
-    )
+    graph, truth = mixed_sbm(64, num_clusters=2, p_intra=0.4, p_inter=0.06, seed=7)
     print(f"graph: {graph}  (directed fraction {graph.directed_fraction:.2f})")
 
     config = QSCConfig(

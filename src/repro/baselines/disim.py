@@ -46,9 +46,7 @@ def disim_embedding(
     in_scale = 1.0 / np.sqrt(in_degree + tau)
     laplacian = out_scale[:, None] * adjacency * in_scale[None, :]
     left, _, right_t = np.linalg.svd(laplacian)
-    return np.hstack(
-        [left[:, :num_clusters], right_t[:num_clusters, :].T]
-    )
+    return np.hstack([left[:, :num_clusters], right_t[:num_clusters, :].T])
 
 
 class DiSimClustering:

@@ -79,9 +79,7 @@ def nystrom_embedding(
     else:
         block = affinity[np.ix_(landmarks, landmarks)]
         cross = affinity[:, landmarks]
-    values, vectors = np.linalg.eigh(
-        block + regularization * np.eye(num_landmarks)
-    )
+    values, vectors = np.linalg.eigh(block + regularization * np.eye(num_landmarks))
     order = np.argsort(values)[::-1][:num_clusters]
     top_values = values[order]
     top_vectors = vectors[:, order]

@@ -133,9 +133,7 @@ def chung_laplacian(graph: MixedGraph, teleport: float = 0.05, backend="dense"):
         graph, teleport, walk_parts=(walk_part, dangling)
     )
     sqrt_phi = np.sqrt(np.maximum(phi, 1e-15))
-    scaled = be.scale_columns(
-        be.scale_rows(walk_part, sqrt_phi), 1.0 / sqrt_phi
-    )
+    scaled = be.scale_columns(be.scale_rows(walk_part, sqrt_phi), 1.0 / sqrt_phi)
     symmetric = (1.0 - teleport) * (scaled + scaled.T) / 2.0
     return be.identity(graph.num_nodes, dtype=float) - symmetric
 

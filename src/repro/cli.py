@@ -45,6 +45,7 @@ from repro.graphs import (
     random_mixed_graph,
     sparse_mixed_sbm,
 )
+from repro.graphs.generators import GENERATOR_VERSIONS
 from repro.linalg import BACKEND_NAMES
 from repro.metrics import partition_summary
 from repro.spectral import ClassicalSpectralClustering, lowest_eigenpairs
@@ -99,6 +100,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "graphs; default: all rows in one block)"
         ),
     )
+    cluster.add_argument(
+        "--draw-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "threads for the per-row readout RNG draw stages (results are "
+            "bit-identical at any value; default: serial)"
+        ),
+    )
     cluster.add_argument("--theta", type=float, default=float(np.pi / 2))
     cluster.add_argument("--seed", type=int, default=0)
 
@@ -109,6 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--nodes", type=int, default=60)
     generate.add_argument("--clusters", type=int, default=2)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--generator-version",
+        choices=GENERATOR_VERSIONS,
+        default="v1",
+        help=(
+            "seed contract of the SBM generators (--kind mixed/flow): v1 "
+            "is the byte-stable legacy pair loop, v2 the vectorized block "
+            "sampler (same distribution, much faster at 1k+ nodes)"
+        ),
+    )
     generate.add_argument("--output", required=True)
     generate.add_argument(
         "--labels-output", help="optional file for ground-truth labels"
@@ -169,6 +190,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     experiments.add_argument(
+        "--generator-version",
+        choices=GENERATOR_VERSIONS,
+        default=None,
+        help=(
+            "graph-generator seed contract for every selected sweep "
+            "(recorded in the artifacts; default: each spec's default, v1)"
+        ),
+    )
+    experiments.add_argument(
         "--out",
         default="artifacts",
         metavar="DIR",
@@ -186,6 +216,7 @@ def _cmd_cluster(args) -> int:
             precision_bits=args.precision_bits,
             shots=args.shots,
             readout_chunk_size=args.readout_chunk_size,
+            draw_threads=args.draw_threads,
             theta=args.theta,
             seed=args.seed,
         )
@@ -207,18 +238,29 @@ def _cmd_cluster(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    if args.kind in ("random", "sparse") and args.generator_version != "v1":
+        # random has no versioned contract; sparse keeps its own O(edges)
+        # sampler — refuse rather than silently mislabel the provenance.
+        raise ReproError(
+            f"--generator-version applies to --kind mixed/flow only "
+            f"(got --kind {args.kind})"
+        )
     if args.kind == "mixed":
         graph, labels = mixed_sbm(
-            args.nodes, args.clusters, seed=args.seed
+            args.nodes,
+            args.clusters,
+            seed=args.seed,
+            generator_version=args.generator_version,
         )
     elif args.kind == "flow":
         graph, labels = cyclic_flow_sbm(
-            args.nodes, args.clusters, seed=args.seed
+            args.nodes,
+            args.clusters,
+            seed=args.seed,
+            generator_version=args.generator_version,
         )
     elif args.kind == "sparse":
-        graph, labels = sparse_mixed_sbm(
-            args.nodes, args.clusters, seed=args.seed
-        )
+        graph, labels = sparse_mixed_sbm(args.nodes, args.clusters, seed=args.seed)
     else:
         graph = random_mixed_graph(args.nodes, seed=args.seed)
         labels = None
@@ -271,9 +313,7 @@ def _cmd_experiments(args) -> int:
     if args.list_specs:
         for name, factory in specs.items():
             spec = factory()
-            axes = ", ".join(
-                f"{axis.name}={list(axis.values)}" for axis in spec.axes
-            )
+            axes = ", ".join(f"{axis.name}={list(axis.values)}" for axis in spec.axes)
             print(f"{name:8s} {spec.artifact:9s} {spec.description}")
             print(f"{'':8s} axes: {axes}; trials: {spec.trials}")
         return 0
@@ -285,7 +325,10 @@ def _cmd_experiments(args) -> int:
             f"known: {', '.join(specs)}"
         )
     for name in selected:
-        spec = specs[name]()
+        factory_kwargs = {}
+        if args.generator_version is not None:
+            factory_kwargs["generator_version"] = args.generator_version
+        spec = specs[name](**factory_kwargs)
         if args.trials is not None:
             spec = spec.with_updates(trials=args.trials)
         result = SweepRunner(spec, jobs=args.jobs).run()

@@ -76,9 +76,7 @@ def eigenvalues_from_histogram(
             next_quantile += per_eigenvector
     while len(estimates) < num_nodes:
         estimates.append(
-            bin_value(
-                int(np.flatnonzero(histogram)[-1]), precision_bits, lambda_scale
-            )
+            bin_value(int(np.flatnonzero(histogram)[-1]), precision_bits, lambda_scale)
         )
     return np.asarray(estimates)
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.exceptions import ClusteringError
+from repro.graphs.generators import GENERATOR_VERSIONS
 from repro.linalg import BACKEND_NAMES as LINALG_BACKENDS
 
 BACKENDS = ("circuit", "analytic")
@@ -33,6 +34,22 @@ class QSCConfig:
         values strictly bound peak memory (each live filter block is
         ``chunk × dim`` amplitudes).  Chunking never changes results.
         Exposed on the CLI as ``--readout-chunk-size``.
+    draw_threads:
+        Thread count for the readout pipeline's per-row RNG draw stages
+        (tomography magnitudes/phases and amplitude estimation).  Row
+        streams are independent and NumPy generators release the GIL while
+        sampling, so any value — including ``None``/1 (serial, the
+        default) — produces bit-identical results; larger values overlap
+        the draw-bound part of the fit on multicore hosts.  Exposed on the
+        CLI as ``--draw-threads``.
+    generator_version:
+        Seed contract of the synthetic-graph generators
+        (:data:`repro.graphs.generators.GENERATOR_VERSIONS`): ``"v1"``
+        (default) is the byte-stable legacy per-pair stream, ``"v2"`` the
+        vectorized block-wise stream.  The clustering pipeline itself
+        never samples graphs — the field travels with the config so
+        experiment sweeps record which generator contract produced their
+        inputs, and is exposed on the CLI as ``--generator-version``.
     histogram_shots:
         Shots spent on the global eigenvalue histogram used to pick the
         projection threshold.
@@ -71,6 +88,8 @@ class QSCConfig:
     shots: int = 2048
     histogram_shots: int = 4096
     readout_chunk_size: int | None = None
+    draw_threads: int | None = None
+    generator_version: str = "v1"
     backend: str = "analytic"
     linalg_backend: str = "auto"
     evolution: str = "exact"
@@ -95,6 +114,15 @@ class QSCConfig:
             raise ClusteringError(
                 f"readout_chunk_size must be >= 1 or None, "
                 f"got {self.readout_chunk_size}"
+            )
+        if self.draw_threads is not None and self.draw_threads < 1:
+            raise ClusteringError(
+                f"draw_threads must be >= 1 or None, got {self.draw_threads}"
+            )
+        if self.generator_version not in GENERATOR_VERSIONS:
+            raise ClusteringError(
+                f"generator_version must be one of {GENERATOR_VERSIONS}, "
+                f"got {self.generator_version!r}"
             )
         if self.backend not in BACKENDS:
             raise ClusteringError(

@@ -34,9 +34,7 @@ def noisy_assign_labels(
     """Assignment under distance estimates with additive error <= δ."""
     distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
     if delta > 0:
-        distances = distances + rng.uniform(
-            -delta, delta, size=distances.shape
-        )
+        distances = distances + rng.uniform(-delta, delta, size=distances.shape)
     return distances.argmin(axis=1)
 
 
@@ -91,9 +89,7 @@ def qmeans(
         raise ClusteringError(f"points must be 2-D, got shape {points.shape}")
     n = points.shape[0]
     if not 1 <= num_clusters <= n:
-        raise ClusteringError(
-            f"num_clusters must be in [1, {n}], got {num_clusters}"
-        )
+        raise ClusteringError(f"num_clusters must be in [1, {n}], got {num_clusters}")
     if delta < 0:
         raise ClusteringError(f"delta must be >= 0, got {delta}")
     if max_iterations < 1 or num_restarts < 1 or stability_window < 1:

@@ -43,7 +43,7 @@ from repro.quantum.hamiltonian import (
 )
 from repro.quantum.phase_estimation import (
     qpe_circuit,
-    qpe_outcome_distribution,
+    qpe_outcome_distributions,
 )
 from repro.quantum.statevector import Statevector
 from repro.utils.linalg import next_power_of_two
@@ -137,9 +137,7 @@ class SpectralCache:
         """Adjust the byte budget and/or switch the cache off entirely."""
         if max_bytes is not None:
             if max_bytes < 0:
-                raise ClusteringError(
-                    f"max_bytes must be >= 0, got {max_bytes}"
-                )
+                raise ClusteringError(f"max_bytes must be >= 0, got {max_bytes}")
             self.max_bytes = int(max_bytes)
             self._shrink()
         if enabled is not None:
@@ -184,9 +182,7 @@ class SpectralCache:
 
         def build():
             if padded is None:
-                raise ClusteringError(
-                    "spectral cache miss with no matrix to decompose"
-                )
+                raise ClusteringError("spectral cache miss with no matrix to decompose")
             decomposition = SpectralDecomposition.of(padded)
             return (decomposition.eigenvalues, decomposition.eigenvectors)
 
@@ -204,17 +200,15 @@ class SpectralCache:
         changes only shots or the acceptance threshold reuses both the
         decomposition *and* this kernel; changing ``precision_bits`` reuses
         the decomposition and rebuilds only the kernel.
+
+        A miss computes the full (eigenvalues × outcomes) response matrix
+        in one :func:`~repro.quantum.phase_estimation.qpe_outcome_distributions`
+        broadcast pass — there is no per-eigenvalue Python loop left on the
+        kernel-build path.
         """
 
         def build():
-            return (
-                np.vstack(
-                    [
-                        qpe_outcome_distribution(phase, precision_bits)
-                        for phase in phases
-                    ]
-                ),
-            )
+            return (qpe_outcome_distributions(phases, precision_bits),)
 
         return self._get(("kernel", fingerprint, int(precision_bits)), build)[0]
 
@@ -254,9 +248,7 @@ def pad_laplacian(laplacian):
         if dim == n:
             return laplacian.tocsr(copy=True).astype(complex)
         pad_block = sparse.identity(dim - n, dtype=complex) * PAD_EIGENVALUE
-        return sparse.block_diag(
-            (laplacian.astype(complex), pad_block), format="csr"
-        )
+        return sparse.block_diag((laplacian.astype(complex), pad_block), format="csr")
     laplacian = np.asarray(laplacian, dtype=complex)
     n = laplacian.shape[0]
     dim = next_power_of_two(max(n, 2))
@@ -302,9 +294,7 @@ class AnalyticQPEBackend:
 
     def __init__(self, laplacian, precision_bits: int):
         if precision_bits < 1:
-            raise ClusteringError(
-                f"precision_bits must be >= 1, got {precision_bits}"
-            )
+            raise ClusteringError(f"precision_bits must be >= 1, got {precision_bits}")
         laplacian = to_dense_array(laplacian, dtype=complex)
         self.num_nodes = laplacian.shape[0]
         self.precision_bits = precision_bits
@@ -376,9 +366,7 @@ class AnalyticQPEBackend:
         """
         if shots < 1:
             raise ClusteringError(f"shots must be >= 1, got {shots}")
-        weights = (
-            np.abs(self._eigenvectors[: self.num_nodes, :]) ** 2
-        ).sum(axis=0)
+        weights = (np.abs(self._eigenvectors[: self.num_nodes, :]) ** 2).sum(axis=0)
         mixture = (weights @ self._kernel) / self.num_nodes
         return rng.multinomial(shots, mixture).astype(float)
 
@@ -486,9 +474,7 @@ class CircuitQPEBackend:
         max_batch_columns: int | None = None,
     ):
         if precision_bits < 1:
-            raise ClusteringError(
-                f"precision_bits must be >= 1, got {precision_bits}"
-            )
+            raise ClusteringError(f"precision_bits must be >= 1, got {precision_bits}")
         if max_batch_columns is None:
             max_batch_columns = DEFAULT_MAX_BATCH_COLUMNS
         if max_batch_columns < 1:
@@ -563,9 +549,7 @@ class CircuitQPEBackend:
         time to bound memory.
         """
         total_dim = 2**self._circuit.num_qubits
-        out = np.empty(
-            (2**self.precision_bits, self.dim, nodes.size), dtype=complex
-        )
+        out = np.empty((2**self.precision_bits, self.dim, nodes.size), dtype=complex)
         flat = out.reshape(total_dim, nodes.size)
         for start in range(0, nodes.size, self.max_batch_columns):
             block = nodes[start : start + self.max_batch_columns]
@@ -592,9 +576,7 @@ class CircuitQPEBackend:
         """
         if self._table_cacheable():
             if self._forward_table is None:
-                self._forward_table = self._forward_columns(
-                    np.arange(self.dim)
-                )
+                self._forward_table = self._forward_columns(np.arange(self.dim))
             return self._forward_table[:, :, nodes].copy()
         return self._forward_columns(nodes)
 
@@ -608,17 +590,13 @@ class CircuitQPEBackend:
         """
         if self._table_cacheable():
             if self._forward_table is None:
-                self._forward_table = self._forward_columns(
-                    np.arange(self.dim)
-                )
+                self._forward_table = self._forward_columns(np.arange(self.dim))
             flat = self._forward_table.reshape(
                 (2**self.precision_bits) * self.dim, self.dim
             )
             return flat.conj().T @ masked
         uncomputed = self._apply_columns(self._inverse_circuit, masked)
-        return uncomputed.reshape(
-            2**self.precision_bits, self.dim, masked.shape[1]
-        )[0]
+        return uncomputed.reshape(2**self.precision_bits, self.dim, masked.shape[1])[0]
 
     def _node_outcome_table(self) -> np.ndarray:
         """``(num_nodes, 2^p)`` exact readout distributions, one row per
@@ -626,9 +604,7 @@ class CircuitQPEBackend:
         if self._outcome_table is None:
             if self._table_cacheable():
                 if self._forward_table is None:
-                    self._forward_table = self._forward_columns(
-                        np.arange(self.dim)
-                    )
+                    self._forward_table = self._forward_columns(np.arange(self.dim))
                 # straight off the cached table — no slab copies
                 slabs = self._forward_table[:, :, : self.num_nodes]
                 self._outcome_table = (np.abs(slabs) ** 2).sum(axis=1).T
@@ -811,9 +787,7 @@ def make_backend(laplacian, config) -> object:
         # batched circuit passes but must never widen them beyond the
         # default, or a large readout chunk would inflate the very memory
         # it is meant to cap.
-        max_batch_columns = min(
-            config.readout_chunk_size, DEFAULT_MAX_BATCH_COLUMNS
-        )
+        max_batch_columns = min(config.readout_chunk_size, DEFAULT_MAX_BATCH_COLUMNS)
     return CircuitQPEBackend(
         laplacian,
         config.precision_bits,

@@ -146,6 +146,7 @@ class QuantumSpectralClustering:
             cfg.shots,
             rng_rows,
             chunk_size=cfg.readout_chunk_size,
+            draw_threads=cfg.draw_threads,
         )
         rows, norms = readout.rows, readout.norms
 

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.exceptions import ClusteringError
 from repro.quantum.measurement import tomography_estimate_batch
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import run_per_stream, spawn_rngs
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,7 @@ def batched_readout(
     *,
     chunk_size: int | None = None,
     canonical_phases: bool = True,
+    draw_threads: int | None = None,
 ) -> ReadoutResult:
     """Run the full readout stage for every node of ``backend``.
 
@@ -141,6 +142,11 @@ def batched_readout(
     canonical_phases:
         Apply :func:`canonicalize_row_phases` before returning (the
         pipeline default; disable to inspect raw tomography output).
+    draw_threads:
+        Thread count for the per-row RNG draw stages (tomography and
+        amplitude estimation).  Row streams are independent, so any value
+        produces bit-identical output; ``None`` (default) stays serial.
+        Exposed as ``QSCConfig.draw_threads`` / ``--draw-threads``.
 
     Returns
     -------
@@ -168,18 +174,28 @@ def batched_readout(
             continue  # no row in this block has mass in the subspace
         alive_nodes = nodes[alive]
         estimates = tomography_estimate_batch(
-            filtered[alive], shots, [row_rngs[node] for node in alive_nodes]
+            filtered[alive],
+            shots,
+            [row_rngs[node] for node in alive_nodes],
+            draw_threads=draw_threads,
         )
         if shots > 0:
             # Amplitude estimation of the acceptance probability: binomial
             # shot noise at the same budget, one draw per row from that
             # row's own stream (after its tomography draws, as in the seed
-            # loop).
+            # loop) — chunked/threaded like the tomography draws, which
+            # cannot change any stream's output.
             estimated = np.empty(alive.size)
-            for index, node in enumerate(alive_nodes):
-                estimated[index] = row_rngs[node].binomial(
-                    shots, min(block_probabilities[alive[index]], 1.0)
-                ) / shots
+            clipped = np.minimum(block_probabilities[alive], 1.0)
+
+            def draw_amplitudes(start: int, stop: int) -> None:
+                for index in range(start, stop):
+                    estimated[index] = (
+                        row_rngs[alive_nodes[index]].binomial(shots, clipped[index])
+                        / shots
+                    )
+
+            run_per_stream(alive.size, draw_amplitudes, threads=draw_threads)
         else:
             estimated = block_probabilities[alive]
         amplitudes = np.sqrt(estimated)

@@ -50,9 +50,7 @@ def trotter_ablation(
     ensure_connected(graph, seed=seed)
     laplacian = pad_laplacian(hermitian_laplacian(graph))
     time = 2.0 * np.pi / 2.125
-    exact_backend = CircuitQPEBackend(
-        hermitian_laplacian(graph), 4, evolution="exact"
-    )
+    exact_backend = CircuitQPEBackend(hermitian_laplacian(graph), 4, evolution="exact")
     exact_dist = exact_backend.node_outcome_distribution(0)
     rows = []
     for order in orders:
@@ -101,9 +99,7 @@ def theta_ablation(
             )
             ensure_connected(graph, seed=seed)
             labels = (
-                ClassicalSpectralClustering(
-                    num_clusters, theta=float(theta), seed=seed
-                )
+                ClassicalSpectralClustering(num_clusters, theta=float(theta), seed=seed)
                 .fit(graph)
                 .labels
             )
@@ -136,9 +132,7 @@ def noise_ablation(
     graph, _ = mixed_sbm(num_nodes, 2, p_intra=0.9, p_inter=0.1, seed=seed)
     ensure_connected(graph, seed=seed)
     laplacian = hermitian_laplacian(graph)
-    unitary = exact_evolution(
-        pad_laplacian(laplacian), 2.0 * np.pi / 2.125
-    )
+    unitary = exact_evolution(pad_laplacian(laplacian), 2.0 * np.pi / 2.125)
     circuit = qpe_circuit(unitary, precision_bits)
     ancillas = list(range(precision_bits))
     # Exact (infinite-shot) noiseless reference — so the rate = 0 row shows
@@ -190,12 +184,8 @@ def autok_ablation(
                 num_nodes, k_true, p_intra=0.7, p_inter=0.02, seed=seed
             )
             ensure_connected(graph, seed=seed)
-            backend = AnalyticQPEBackend(
-                hermitian_laplacian(graph), precision_bits
-            )
-            histogram = backend.eigenvalue_histogram(
-                shots, np.random.default_rng(seed)
-            )
+            backend = AnalyticQPEBackend(hermitian_laplacian(graph), precision_bits)
+            histogram = backend.eigenvalue_histogram(shots, np.random.default_rng(seed))
             quantum_k = estimate_num_clusters_quantum(
                 histogram, num_nodes, precision_bits, backend.lambda_scale
             ).num_clusters
@@ -247,9 +237,7 @@ def vqe_ablation(
         overlap_matrix = (
             exact_vectors[:, :num_clusters].conj().T @ result.eigenvectors
         )
-        subspace_fidelity = float(
-            np.linalg.svd(overlap_matrix, compute_uv=False).min()
-        )
+        subspace_fidelity = float(np.linalg.svd(overlap_matrix, compute_uv=False).min())
         rows.append(
             {
                 "seed": seed,
@@ -338,15 +326,11 @@ def main() -> str:
     for row in vqe_ablation():
         lines.append(
             "  seed={seed} eig_err={eigenvalue_error:.4f} "
-            "fidelity={subspace_fidelity:.4f} steps={optimizer_steps}".format(
-                **row
-            )
+            "fidelity={subspace_fidelity:.4f} steps={optimizer_steps}".format(**row)
         )
     lines.append("A6 (net expansion):")
     for row in expansion_ablation():
-        lines.append(
-            "  {expansion}: ari={ari_mean:.3f}±{ari_std:.3f}".format(**row)
-        )
+        lines.append("  {expansion}: ari={ari_mean:.3f}±{ari_std:.3f}".format(**row))
     output = "\n".join(lines)
     print(output)
     return output

@@ -115,9 +115,7 @@ def aggregate(records: list[TrialRecord], group_keys: tuple[str, ...]):
         raise ExperimentError("no records to aggregate")
     groups: dict[tuple, list[TrialRecord]] = {}
     for record in records:
-        key = (record.method,) + tuple(
-            record.parameters[k] for k in group_keys
-        )
+        key = (record.method,) + tuple(record.parameters[k] for k in group_keys)
         groups.setdefault(key, []).append(record)
     rows = []
     for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):

@@ -40,7 +40,16 @@ def _trial_seed(point, trial, base_seed) -> int:
 
 
 def _trial(
-    point, trial, seed, rng, num_nodes, num_clusters, density, precision_bits, shots
+    point,
+    trial,
+    seed,
+    rng,
+    num_nodes,
+    num_clusters,
+    density,
+    precision_bits,
+    shots,
+    generator_version="v1",
 ) -> list[TrialRecord]:
     """One F1 trial: the full method panel on one cyclic-flow SBM."""
     strength = point["strength"]
@@ -51,13 +60,17 @@ def _trial(
         direction_strength=strength,
         intra_directed=True,  # orientation is the ONLY signal
         seed=seed,
+        generator_version=generator_version,
     )
     ensure_connected(graph, seed=seed)
-    config = QSCConfig(precision_bits=precision_bits, shots=shots, seed=seed)
-    methods = standard_methods(num_clusters, seed, config)
-    return evaluate_methods(
-        "F1", methods, graph, truth, {"strength": strength}, seed
+    config = QSCConfig(
+        precision_bits=precision_bits,
+        shots=shots,
+        seed=seed,
+        generator_version=generator_version,
     )
+    methods = standard_methods(num_clusters, seed, config)
+    return evaluate_methods("F1", methods, graph, truth, {"strength": strength}, seed)
 
 
 def spec(
@@ -69,8 +82,14 @@ def spec(
     precision_bits: int = 7,
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
 ) -> SweepSpec:
-    """The declarative F1 sweep (same knobs as :func:`run`)."""
+    """The declarative F1 sweep (same knobs as :func:`run`).
+
+    ``generator_version`` picks the graph-generator seed contract; it is
+    recorded in the sweep's ``fixed`` parameters, so every JSON artifact
+    states which contract produced its graphs.
+    """
     return SweepSpec(
         name="fig1",
         artifact="Figure 1",
@@ -86,6 +105,7 @@ def spec(
             "density": density,
             "precision_bits": precision_bits,
             "shots": shots,
+            "generator_version": generator_version,
         },
         render=series,
     )
@@ -100,6 +120,7 @@ def run(
     precision_bits: int = 7,
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F1 direction-strength sweep through the sweep engine."""
@@ -114,6 +135,7 @@ def run(
                 precision_bits=precision_bits,
                 shots=shots,
                 base_seed=base_seed,
+                generator_version=generator_version,
             ),
             jobs=jobs,
         )

@@ -77,15 +77,26 @@ def _trial(
     shots,
     include_circuit,
     circuit_num_nodes,
+    generator_version="v1",
 ) -> list[TrialRecord]:
     """One F2 trial: analytic fit + filter diagnostics (+ circuit check)."""
     precision = point["p"]
     records = []
     graph, truth = mixed_sbm(
-        num_nodes, num_clusters, p_intra=SBM_P_INTRA, p_inter=SBM_P_INTER, seed=seed
+        num_nodes,
+        num_clusters,
+        p_intra=SBM_P_INTRA,
+        p_inter=SBM_P_INTER,
+        seed=seed,
+        generator_version=generator_version,
     )
     ensure_connected(graph, seed=seed)
-    config = QSCConfig(precision_bits=precision, shots=shots, seed=seed)
+    config = QSCConfig(
+        precision_bits=precision,
+        shots=shots,
+        seed=seed,
+        generator_version=generator_version,
+    )
     result = QuantumSpectralClustering(num_clusters, config).fit(graph)
     rmse, leakage = _filter_diagnostics(
         graph, num_clusters, precision, result.threshold
@@ -108,6 +119,7 @@ def _trial(
             p_intra=0.7,
             p_inter=0.05,
             seed=seed,
+            generator_version=generator_version,
         )
         ensure_connected(small_graph, seed=seed)
         circuit_config = QSCConfig(
@@ -115,6 +127,7 @@ def _trial(
             precision_bits=precision,
             shots=shots,
             seed=seed,
+            generator_version=generator_version,
         )
         circuit_labels = (
             QuantumSpectralClustering(num_clusters, circuit_config)
@@ -143,6 +156,7 @@ def spec(
     base_seed: int = DEFAULT_BASE_SEED,
     include_circuit: bool = False,
     circuit_num_nodes: int = 12,
+    generator_version: str = "v1",
 ) -> SweepSpec:
     """The declarative F2 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -160,6 +174,7 @@ def spec(
             "shots": shots,
             "include_circuit": include_circuit,
             "circuit_num_nodes": circuit_num_nodes,
+            "generator_version": generator_version,
         },
         render=series,
     )
@@ -174,6 +189,7 @@ def run(
     base_seed: int = DEFAULT_BASE_SEED,
     include_circuit: bool = False,
     circuit_num_nodes: int = 12,
+    generator_version: str = "v1",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F2 precision sweep through the sweep engine."""
@@ -188,6 +204,7 @@ def run(
                 base_seed=base_seed,
                 include_circuit=include_circuit,
                 circuit_num_nodes=circuit_num_nodes,
+                generator_version=generator_version,
             ),
             jobs=jobs,
         )
@@ -208,9 +225,7 @@ def series(records: list[TrialRecord]) -> str:
         bucket = diagnostics.get((row["method"], row["p"]))
         if bucket:
             row["eig_rmse"] = float(np.mean([d["eig_rmse"] for d in bucket]))
-            row["bulk_leakage"] = float(
-                np.mean([d["bulk_leakage"] for d in bucket])
-            )
+            row["bulk_leakage"] = float(np.mean([d["bulk_leakage"] for d in bucket]))
     return render_markdown_table(
         rows,
         ["p", "method", "trials", "ari_mean", "ari_std", "eig_rmse", "bulk_leakage"],

@@ -43,7 +43,15 @@ def _trial_seed(point, trial, base_seed) -> int:
 
 
 def _trial(
-    point, trial, seed, rng, num_clusters, average_degree, precision_bits, shots
+    point,
+    trial,
+    seed,
+    rng,
+    num_clusters,
+    average_degree,
+    precision_bits,
+    shots,
+    generator_version="v1",
 ) -> list[TrialRecord]:
     """Profile one sparse mixed SBM at the point's size."""
     num_nodes = point["n"]
@@ -55,6 +63,7 @@ def _trial(
         p_intra=p_intra,
         p_inter=p_intra / 8.0,
         seed=seed,
+        generator_version=generator_version,
     )
     ensure_connected(graph, seed=seed - num_nodes)
     sample = profile_graph(
@@ -86,6 +95,7 @@ def spec(
     precision_bits: int = 6,
     shots: int = 256,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
 ) -> SweepSpec:
     """The declarative F3 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -102,6 +112,7 @@ def spec(
             "average_degree": average_degree,
             "precision_bits": precision_bits,
             "shots": shots,
+            "generator_version": generator_version,
         },
         render=render_records,
     )
@@ -114,6 +125,7 @@ def run(
     precision_bits: int = 6,
     shots: int = 256,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
     jobs: int = 1,
 ) -> list[RuntimeSample]:
     """Profile one sparse mixed SBM per size (constant average degree)."""
@@ -126,6 +138,7 @@ def run(
                 precision_bits=precision_bits,
                 shots=shots,
                 base_seed=base_seed,
+                generator_version=generator_version,
             ),
             jobs=jobs,
         )
@@ -140,12 +153,8 @@ def exponents(samples: list[RuntimeSample]) -> dict[str, float]:
     sizes = [s.num_nodes for s in samples]
     return {
         "quantum_steps": fitted_exponent(sizes, [s.quantum_steps for s in samples]),
-        "classical_steps": fitted_exponent(
-            sizes, [s.classical_steps for s in samples]
-        ),
-        "dense_seconds": fitted_exponent(
-            sizes, [s.dense_seconds for s in samples]
-        ),
+        "classical_steps": fitted_exponent(sizes, [s.classical_steps for s in samples]),
+        "dense_seconds": fitted_exponent(sizes, [s.dense_seconds for s in samples]),
     }
 
 

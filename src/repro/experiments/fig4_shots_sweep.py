@@ -36,21 +36,43 @@ def _trial_seed(point, trial, base_seed) -> int:
 
 
 def _trial(
-    point, trial, seed, rng, num_nodes, num_clusters, precision_bits
+    point,
+    trial,
+    seed,
+    rng,
+    num_nodes,
+    num_clusters,
+    precision_bits,
+    generator_version="v1",
 ) -> list[TrialRecord]:
     """One F4 trial: noiseless reference fit + finite-shot fit."""
     shots = point["shots"]
     graph, truth = mixed_sbm(
-        num_nodes, num_clusters, p_intra=0.4, p_inter=0.05, seed=seed
+        num_nodes,
+        num_clusters,
+        p_intra=0.4,
+        p_inter=0.05,
+        seed=seed,
+        generator_version=generator_version,
     )
     ensure_connected(graph, seed=seed)
     noiseless = QuantumSpectralClustering(
         num_clusters,
-        QSCConfig(precision_bits=precision_bits, shots=0, seed=seed),
+        QSCConfig(
+            precision_bits=precision_bits,
+            shots=0,
+            seed=seed,
+            generator_version=generator_version,
+        ),
     ).fit(graph)
     noisy = QuantumSpectralClustering(
         num_clusters,
-        QSCConfig(precision_bits=precision_bits, shots=shots, seed=seed),
+        QSCConfig(
+            precision_bits=precision_bits,
+            shots=shots,
+            seed=seed,
+            generator_version=generator_version,
+        ),
     ).fit(graph)
     embedding_error = float(
         np.linalg.norm(noisy.embedding - noiseless.embedding)
@@ -76,6 +98,7 @@ def spec(
     trials: int = DEFAULT_TRIALS,
     precision_bits: int = 7,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
 ) -> SweepSpec:
     """The declarative F4 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -91,6 +114,7 @@ def spec(
             "num_nodes": num_nodes,
             "num_clusters": num_clusters,
             "precision_bits": precision_bits,
+            "generator_version": generator_version,
         },
         render=series,
     )
@@ -103,6 +127,7 @@ def run(
     trials: int = DEFAULT_TRIALS,
     precision_bits: int = 7,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F4 shots sweep through the sweep engine."""
@@ -115,6 +140,7 @@ def run(
                 trials=trials,
                 precision_bits=precision_bits,
                 base_seed=base_seed,
+                generator_version=generator_version,
             ),
             jobs=jobs,
         )

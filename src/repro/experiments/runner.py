@@ -254,9 +254,7 @@ def _execute_task(spec: SweepSpec, task: SweepTask, rng) -> tuple:
                 f"sweep {spec.name!r} trial returned {type(record).__name__}, "
                 "expected TrialRecord"
             )
-    delta = {
-        key: after.get(key, 0) - before.get(key, 0) for key in _CACHE_COUNTERS
-    }
+    delta = {key: after.get(key, 0) - before.get(key, 0) for key in _CACHE_COUNTERS}
     return task.index, records, delta
 
 
@@ -311,11 +309,7 @@ class SweepRunner:
             by_index[index] = records
             for key in _CACHE_COUNTERS:
                 cache[key] += delta[key]
-        records = [
-            record
-            for index in sorted(by_index)
-            for record in by_index[index]
-        ]
+        records = [record for index in sorted(by_index) for record in by_index[index]]
         return SweepResult(
             spec=self.spec,
             records=records,

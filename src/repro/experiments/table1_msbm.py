@@ -39,7 +39,9 @@ def _trial_seed(point, trial, base_seed) -> int:
     return base_seed + 7919 * trial + point["n"] + point["k"]
 
 
-def _trial(point, trial, seed, rng, precision_bits, shots) -> list[TrialRecord]:
+def _trial(
+    point, trial, seed, rng, precision_bits, shots, generator_version="v1"
+) -> list[TrialRecord]:
     """One T1 trial: the full method panel on one mixed SBM instance."""
     num_nodes, num_clusters = point["n"], point["k"]
     graph, truth = mixed_sbm(
@@ -48,9 +50,15 @@ def _trial(point, trial, seed, rng, precision_bits, shots) -> list[TrialRecord]:
         p_intra=0.4,
         p_inter=0.05,
         seed=seed,
+        generator_version=generator_version,
     )
     ensure_connected(graph, seed=seed)
-    config = QSCConfig(precision_bits=precision_bits, shots=shots, seed=seed)
+    config = QSCConfig(
+        precision_bits=precision_bits,
+        shots=shots,
+        seed=seed,
+        generator_version=generator_version,
+    )
     methods = standard_methods(num_clusters, seed, config)
     return evaluate_methods(
         "T1",
@@ -69,6 +77,7 @@ def spec(
     precision_bits: int = 7,
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
 ) -> SweepSpec:
     """The declarative T1 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -83,7 +92,11 @@ def spec(
         seed=_trial_seed,
         base_seed=base_seed,
         trials=trials,
-        fixed={"precision_bits": precision_bits, "shots": shots},
+        fixed={
+            "precision_bits": precision_bits,
+            "shots": shots,
+            "generator_version": generator_version,
+        },
         render=table,
     )
 
@@ -95,6 +108,7 @@ def run(
     precision_bits: int = 7,
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the T1 sweep and return one record per (method, instance)."""
@@ -107,6 +121,7 @@ def run(
                 precision_bits=precision_bits,
                 shots=shots,
                 base_seed=base_seed,
+                generator_version=generator_version,
             ),
             jobs=jobs,
         )

@@ -45,7 +45,14 @@ def _trial_seed(point, trial, base_seed) -> int:
 
 
 def _trial(
-    point, trial, seed, rng, gates_per_module, precision_bits, shots
+    point,
+    trial,
+    seed,
+    rng,
+    gates_per_module,
+    precision_bits,
+    shots,
+    generator_version="v1",
 ) -> list[TrialRecord]:
     """One T2 trial: the method panel on one synthetic netlist instance."""
     num_modules = point["modules"]
@@ -84,8 +91,15 @@ def spec(
     precision_bits: int = 7,
     shots: int = 2048,
     base_seed: int = DEFAULT_BASE_SEED,
+    generator_version: str = "v1",
 ) -> SweepSpec:
-    """The declarative T2 sweep (same knobs as :func:`run`)."""
+    """The declarative T2 sweep (same knobs as :func:`run`).
+
+    T2's graphs come from deterministic synthetic netlists, not the SBM
+    generators, so ``generator_version`` changes nothing here; it is
+    accepted (and recorded in the artifact) so every sweep in the registry
+    carries the same provenance field.
+    """
     return SweepSpec(
         name="table2",
         artifact="Table 2",
@@ -99,6 +113,7 @@ def spec(
             "gates_per_module": gates_per_module,
             "precision_bits": precision_bits,
             "shots": shots,
+            "generator_version": generator_version,
         },
         render=table,
     )

@@ -106,9 +106,7 @@ def parse_bench(text: str, name: str = "bench") -> Netlist:
             net, gate_type, arg_text = gate_match.groups()
             gate_type = gate_type.upper()
             if gate_type not in GATE_TYPES:
-                raise ParseError(
-                    f"line {line_number}: unknown gate type {gate_type!r}"
-                )
+                raise ParseError(f"line {line_number}: unknown gate type {gate_type!r}")
             if net in defined:
                 raise ParseError(f"line {line_number}: net {net!r} redefined")
             inputs = tuple(
@@ -150,7 +148,5 @@ def write_bench(netlist: Netlist) -> str:
             lines.append(f"OUTPUT({gate.name})")
     for gate in netlist.gates:
         if gate.gate_type != "INPUT":
-            lines.append(
-                f"{gate.name} = {gate.gate_type}({', '.join(gate.inputs)})"
-            )
+            lines.append(f"{gate.name} = {gate.gate_type}({', '.join(gate.inputs)})")
     return "\n".join(lines) + "\n"

@@ -93,9 +93,7 @@ class Hypergraph:
     def from_netlist(cls, netlist: Netlist, include_inputs: bool = True):
         """Group a netlist's driver→sink relations into hyperedges."""
         netlist.validate()
-        kept = [
-            g for g in netlist.gates if include_inputs or g.gate_type != "INPUT"
-        ]
+        kept = [g for g in netlist.gates if include_inputs or g.gate_type != "INPUT"]
         index = {g.name: i for i, g in enumerate(kept)}
         sinks_of: dict[str, list[int]] = {}
         for gate in kept:
@@ -175,9 +173,7 @@ class Hypergraph:
     def _validate_labels(self, labels) -> np.ndarray:
         labels = np.asarray(labels, dtype=int).ravel()
         if labels.size != self.num_cells:
-            raise GraphError(
-                f"{labels.size} labels for {self.num_cells} cells"
-            )
+            raise GraphError(f"{labels.size} labels for {self.num_cells} cells")
         return labels
 
     def __repr__(self) -> str:

@@ -85,9 +85,7 @@ class MixedGraph:
             raise GraphError(f"edge weight must be positive, got {weight}")
         key = (min(u, v), max(u, v))
         if (u, v) in self._directed or (v, u) in self._directed:
-            raise GraphError(
-                f"nodes {u},{v} already share an arc; remove it first"
-            )
+            raise GraphError(f"nodes {u},{v} already share an arc; remove it first")
         self._undirected[key] = float(weight)
 
     def add_arc(self, source: int, target: int, weight: float = 1.0) -> None:
@@ -113,18 +111,114 @@ class MixedGraph:
     def add_edges(self, edges) -> None:
         """Add undirected edges from ``(u, v)`` or ``(u, v, weight)`` rows.
 
-        A convenience loop over :meth:`add_edge` (same semantics, same
-        per-row cost) — the single insertion point generators and netlist
-        conversion feed their accumulated edge lists through.
+        The single insertion point generators and netlist conversion feed
+        their accumulated edge lists through.  An ndarray of shape
+        ``(m, 2)`` or ``(m, 3)`` takes a vectorized bulk path — validation
+        and key construction in NumPy, one dict update — with the exact
+        semantics of looping :meth:`add_edge` (later duplicates overwrite
+        earlier ones, edge/arc conflicts raise); any other iterable falls
+        back to that loop.
         """
-        for row in edges:
-            self.add_edge(*row)
+        if not (
+            isinstance(edges, np.ndarray)
+            and edges.ndim == 2
+            and edges.shape[1] in (2, 3)
+        ):
+            for row in edges:
+                self.add_edge(*row)
+            return
+        if edges.shape[0] == 0:
+            return
+        u = edges[:, 0].astype(np.int64)
+        v = edges[:, 1].astype(np.int64)
+        weights = (
+            edges[:, 2].astype(float)
+            if edges.shape[1] == 3
+            else np.ones(edges.shape[0])
+        )
+        self._check_bulk(u, v, weights)
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = list(zip(lo.tolist(), hi.tolist()))
+        directed = self._directed
+        if directed:
+            # O(1) dict probes per batch row — never a scan of the
+            # accumulated table, so repeated block inserts stay O(edges).
+            for a, b in keys:
+                if (a, b) in directed or (b, a) in directed:
+                    raise GraphError(
+                        f"nodes {a},{b} already share an arc; remove it first"
+                    )
+        self._undirected.update(zip(keys, weights.tolist()))
 
     def add_arcs(self, arcs) -> None:
         """Add arcs from ``(source, target)`` or ``(source, target, weight)``
-        rows (convenience loop over :meth:`add_arc`)."""
-        for row in arcs:
-            self.add_arc(*row)
+        rows.
+
+        Same bulk contract as :meth:`add_edges`: ndarray input is validated
+        and inserted vectorially, other iterables loop over
+        :meth:`add_arc`.  Batches containing antiparallel pairs (within the
+        batch or against existing arcs) fall back to the per-row loop so
+        the merge-into-undirected convention is preserved.
+        """
+        if not (
+            isinstance(arcs, np.ndarray)
+            and arcs.ndim == 2
+            and arcs.shape[1] in (2, 3)
+        ):
+            for row in arcs:
+                self.add_arc(*row)
+            return
+        if arcs.shape[0] == 0:
+            return
+        source = arcs[:, 0].astype(np.int64)
+        target = arcs[:, 1].astype(np.int64)
+        weights = (
+            arcs[:, 2].astype(float)
+            if arcs.shape[1] == 3
+            else np.ones(arcs.shape[0])
+        )
+        self._check_bulk(source, target, weights)
+        pairs = list(zip(source.tolist(), target.tolist()))
+        undirected = self._undirected
+        if undirected:
+            for s, t in pairs:
+                if ((s, t) if s < t else (t, s)) in undirected:
+                    raise GraphError(f"nodes {s},{t} already share an undirected edge")
+        directed = self._directed
+        # Within-batch antiparallel pairs are detected vectorially on
+        # packed codes; cross-checks against the accumulated table are
+        # O(1) dict probes per row.
+        codes = self._encode(source, target)
+        antiparallel = bool(np.isin(self._encode(target, source), codes).any())
+        if not antiparallel and directed:
+            antiparallel = any((t, s) in directed for s, t in pairs)
+        if antiparallel:
+            # Antiparallel pairs merge into undirected edges; the per-row
+            # path implements that convention.
+            for pair, weight in zip(pairs, weights.tolist()):
+                self.add_arc(*pair, weight)
+            return
+        directed.update(zip(pairs, weights.tolist()))
+
+    def _encode(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Pack node pairs into single int64 codes for set-style lookups."""
+        return a * np.int64(self._num_nodes) + b
+
+    def _check_bulk(self, u: np.ndarray, v: np.ndarray, weights: np.ndarray):
+        """Vectorized endpoint/weight validation shared by the bulk paths."""
+        endpoints = np.concatenate([u, v])
+        if endpoints.min() < 0 or endpoints.max() >= self._num_nodes:
+            bad = endpoints[(endpoints < 0) | (endpoints >= self._num_nodes)][0]
+            raise GraphError(
+                f"node {bad} out of range for graph with "
+                f"{self._num_nodes} nodes"
+            )
+        loops = u == v
+        if loops.any():
+            raise GraphError(f"self-loop on node {u[loops][0]} is not allowed")
+        if weights.min() <= 0:
+            raise GraphError(f"edge weight must be positive, got {weights.min()}")
 
     # -- accessors -----------------------------------------------------------
 
@@ -311,9 +405,7 @@ class MixedGraph:
         if len(set(nodes)) != len(nodes):
             raise GraphError("duplicate nodes in subgraph request")
         index = {node: i for i, node in enumerate(nodes)}
-        labels = (
-            [self._node_labels[n] for n in nodes] if self._node_labels else None
-        )
+        labels = [self._node_labels[n] for n in nodes] if self._node_labels else None
         sub = MixedGraph(len(nodes), node_labels=labels)
         for (u, v), w in self._undirected.items():
             if u in index and v in index:

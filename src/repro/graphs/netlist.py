@@ -76,9 +76,7 @@ class Netlist:
         for gate in self.gates:
             for net in gate.inputs:
                 if net not in known:
-                    raise GraphError(
-                        f"gate {gate.name!r} reads undriven net {net!r}"
-                    )
+                    raise GraphError(f"gate {gate.name!r} reads undriven net {net!r}")
 
     def to_mixed_graph(
         self,
@@ -118,9 +116,7 @@ class Netlist:
         self.validate()
         if clique_weight <= 0:
             raise GraphError(f"clique_weight must be positive, got {clique_weight}")
-        kept = [
-            g for g in self.gates if include_inputs or g.gate_type != "INPUT"
-        ]
+        kept = [g for g in self.gates if include_inputs or g.gate_type != "INPUT"]
         index = {g.name: i for i, g in enumerate(kept)}
         # Accumulate connections in plain sets/lists and insert once at the
         # end, preserving the exact conflict semantics of incremental
@@ -178,9 +174,7 @@ class Netlist:
         """Ground-truth module index per kept node (synthetic designs only)."""
         if not self.module_of:
             raise GraphError(f"netlist {self.name!r} carries no module labels")
-        kept = [
-            g for g in self.gates if include_inputs or g.gate_type != "INPUT"
-        ]
+        kept = [g for g in self.gates if include_inputs or g.gate_type != "INPUT"]
         return np.array([self.module_of[g.name] for g in kept], dtype=int)
 
 

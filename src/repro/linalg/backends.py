@@ -223,9 +223,7 @@ class SparseBackend(LinalgBackend):
         # of a non-Hermitian input and return plausible-looking garbage.
         asymmetry = abs(csr - csr.getH())
         if asymmetry.nnz and asymmetry.max() > 1e-8:
-            raise ConvergenceError(
-                "lowest_eigenpairs requires a Hermitian matrix"
-            )
+            raise ConvergenceError("lowest_eigenpairs requires a Hermitian matrix")
         # Deterministic start vector: eigsh defaults to a random one, which
         # would make cluster labels run-to-run nondeterministic.
         v0 = np.random.default_rng(0).normal(size=n)

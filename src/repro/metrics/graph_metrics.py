@@ -102,9 +102,7 @@ def mixed_modularity(graph: MixedGraph, labels) -> float:
         raise ClusteringError("graph has no connections")
     num_clusters = int(labels.max()) + 1
     same = labels[u] == labels[v]
-    intra = np.bincount(
-        labels[u[same]], weights=2.0 * w[same], minlength=num_clusters
-    )
+    intra = np.bincount(labels[u[same]], weights=2.0 * w[same], minlength=num_clusters)
     cluster_degrees = np.bincount(labels, weights=degrees, minlength=num_clusters)
     return float(
         (intra / double_weight).sum()

@@ -37,6 +37,7 @@ from repro.quantum.phase_estimation import (
     QPEResult,
     qpe_circuit,
     qpe_outcome_distribution,
+    qpe_outcome_distributions,
     run_qpe,
 )
 from repro.quantum.state_prep import (
@@ -122,6 +123,7 @@ __all__ = [
     "QPEResult",
     "qpe_circuit",
     "qpe_outcome_distribution",
+    "qpe_outcome_distributions",
     "run_qpe",
     "amplitude_encode",
     "state_preparation_circuit",

@@ -114,9 +114,7 @@ class DensityMatrix:
             raise QubitError(f"duplicate qubits in {qubits}")
         k = len(qubits)
         if operator.shape != (2**k, 2**k):
-            raise CircuitError(
-                f"operator on {k} qubit(s) must be {2**k}x{2**k}"
-            )
+            raise CircuitError(f"operator on {k} qubit(s) must be {2**k}x{2**k}")
         m = self._num_qubits
         full = np.zeros((self.dim, self.dim), dtype=complex)
         # Build by permuting a kron product: operator ⊗ I, then reorder axes.
@@ -126,9 +124,7 @@ class DensityMatrix:
         tensor = kron.reshape((2,) * (2 * m))
         # axes 0..m-1 are output in `order` ordering; move to natural order
         inverse = np.argsort(order)
-        tensor = np.transpose(
-            tensor, axes=list(inverse) + [m + i for i in inverse]
-        )
+        tensor = np.transpose(tensor, axes=list(inverse) + [m + i for i in inverse])
         full = tensor.reshape(self.dim, self.dim)
         return full
 
@@ -152,9 +148,7 @@ class DensityMatrix:
             raise CircuitError("Kraus operators do not satisfy Σ K†K = I")
         if qubits is not None:
             operators = [self._embed(k, qubits) for k in operators]
-        self._matrix = sum(
-            k @ self._matrix @ k.conj().T for k in operators
-        )
+        self._matrix = sum(k @ self._matrix @ k.conj().T for k in operators)
 
     def run_circuit(self, circuit) -> None:
         """Apply every operation of a ``QuantumCircuit`` (no noise)."""
@@ -171,9 +165,7 @@ class DensityMatrix:
         drop = tuple(axis for axis in range(m) if axis not in qubits)
         marginal = probs.sum(axis=drop) if drop else probs
         if len(qubits) > 1:
-            marginal = np.transpose(
-                marginal, axes=np.argsort(np.argsort(qubits))
-            )
+            marginal = np.transpose(marginal, axes=np.argsort(np.argsort(qubits)))
         flat = marginal.ravel()
         return flat / flat.sum()
 

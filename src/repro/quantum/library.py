@@ -63,9 +63,7 @@ def hadamard_layer(num_qubits: int, qubits=None) -> QuantumCircuit:
 def basis_preparation(num_qubits: int, index: int) -> QuantumCircuit:
     """X gates preparing the computational basis state ``|index>``."""
     if not 0 <= index < 2**num_qubits:
-        raise CircuitError(
-            f"basis index {index} out of range for {num_qubits} qubits"
-        )
+        raise CircuitError(f"basis index {index} out of range for {num_qubits} qubits")
     qc = QuantumCircuit(num_qubits, name=f"prep|{index}>")
     for qubit in range(num_qubits):
         if (index >> (num_qubits - 1 - qubit)) & 1:

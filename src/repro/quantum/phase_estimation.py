@@ -11,6 +11,10 @@ Provides both:
 
   which the scalable ``analytic`` backend samples directly (see DESIGN.md,
   substitution table).  Property tests assert the two agree.
+* :func:`qpe_outcome_distributions` — the batched form: the full
+  (phases × outcomes) response matrix in one broadcast pass, which is how
+  the analytic backend's kernel cache builds its entries; the scalar
+  function is a batch of one and bit-identical to its batched row.
 
 Register layout of the circuit: ancilla (counting) qubits are 0..p−1 with
 qubit 0 the most significant readout bit; system qubits follow at p..p+m−1.
@@ -106,22 +110,56 @@ def qpe_outcome_distribution(phase: float, precision: int) -> np.ndarray:
     Returns
     -------
     Length-2^p probability vector over readouts y.
+
+    Notes
+    -----
+    A batch of one: :func:`qpe_outcome_distributions` computes the same
+    closed form for a whole spectrum at once, and every arithmetic step is
+    elementwise, so this row is bit-identical whether computed alone or as
+    part of a batch (pinned in ``tests/quantum``).
+    """
+    return qpe_outcome_distributions([phase], precision)[0]
+
+
+def qpe_outcome_distributions(phases, precision: int) -> np.ndarray:
+    """Exact QPE readout distributions for many eigenphases in one pass.
+
+    Parameters
+    ----------
+    phases:
+        Array-like of eigenphases φ_j ∈ [0, 1) (values outside wrap mod 1).
+    precision:
+        Ancilla bits p.
+
+    Returns
+    -------
+    ``(len(phases), 2^p)`` matrix whose row ``j`` is the Dirichlet-kernel
+    readout distribution of phase ``j`` — the full (eigenvalues × outcomes)
+    QPE response matrix the analytic backend's kernel cache stores.  The
+    whole matrix is built by broadcast arithmetic; there is no per-phase
+    Python loop.
     """
     if precision < 1:
         raise CircuitError(f"precision must be >= 1, got {precision}")
     size = 2**precision
-    phase = float(phase) % 1.0
+    phases = np.atleast_1d(np.asarray(phases, dtype=float)) % 1.0
+    if phases.ndim != 1:
+        raise CircuitError(
+            f"phases must be a scalar or 1-D array, got shape {phases.shape}"
+        )
     y = np.arange(size)
-    delta = phase - y / size
+    delta = phases[:, None] - y / size
+    sin_delta = np.sin(np.pi * delta)
     numerator = np.sin(np.pi * size * delta) ** 2
-    denominator = (size * np.sin(np.pi * delta)) ** 2
-    probs = np.empty(size, dtype=float)
-    near_zero = np.isclose(np.sin(np.pi * delta), 0.0, atol=1e-12)
-    probs[~near_zero] = numerator[~near_zero] / denominator[~near_zero]
-    probs[near_zero] = 1.0  # limit of the Dirichlet kernel at Δ → integer
-    total = probs.sum()
-    if not np.isclose(total, 1.0, atol=1e-8):
-        probs = probs / total
+    denominator = (size * sin_delta) ** 2
+    near_zero = np.isclose(sin_delta, 0.0, atol=1e-12)
+    # limit of the Dirichlet kernel at Δ → integer is exactly 1; the
+    # denominator is patched before dividing only to avoid the 0/0 warning
+    probs = np.where(near_zero, 1.0, numerator / np.where(near_zero, 1.0, denominator))
+    totals = probs.sum(axis=1)
+    off = ~np.isclose(totals, 1.0, atol=1e-8)
+    if off.any():
+        probs[off] = probs[off] / totals[off, None]
     return probs
 
 

@@ -107,9 +107,7 @@ class KPTree:
 
     def amplitude_encoding(self) -> np.ndarray:
         """The state the rotation cascade prepares (for validation)."""
-        amplitudes = np.sqrt(self._levels[self._depth]) * np.exp(
-            1j * self._phases
-        )
+        amplitudes = np.sqrt(self._levels[self._depth]) * np.exp(1j * self._phases)
         return amplitudes / np.linalg.norm(amplitudes)
 
     def update(self, index: int, value: complex) -> int:

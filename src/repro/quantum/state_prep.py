@@ -51,7 +51,9 @@ def _rotation_tree_angles(magnitudes: np.ndarray) -> list[np.ndarray]:
         pairs = current.reshape(-1, 2)
         parents = pairs.sum(axis=1)
         with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = np.where(parents > 0, pairs[:, 1] / np.where(parents > 0, parents, 1), 0.0)
+            ratio = np.where(
+                parents > 0, pairs[:, 1] / np.where(parents > 0, parents, 1), 0.0
+            )
         angles = 2.0 * np.arcsin(np.sqrt(np.clip(ratio, 0.0, 1.0)))
         stack.append(angles)
         current = parents

@@ -86,9 +86,7 @@ def two_level_decompose(unitary: np.ndarray, tol: float = 1e-12):
             rotation = TwoLevelRotation(col, row, block)
             work = rotation.embed(dim) @ work
             # store the inverse (the factor of U itself)
-            rotations.append(
-                TwoLevelRotation(col, row, block.conj().T)
-            )
+            rotations.append(TwoLevelRotation(col, row, block.conj().T))
     phases = np.diag(work).copy()
     if not np.allclose(np.abs(phases), 1.0, atol=1e-8):
         raise CircuitError("decomposition failed to reach a diagonal")

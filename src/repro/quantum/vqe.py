@@ -196,10 +196,7 @@ class VQESolver:
                 if energy < best_energy:
                     best_energy = energy
                     best_parameters = parameters.copy()
-                if (
-                    step > 25
-                    and abs(stage_history[-25] - energy) < self.tolerance
-                ):
+                if step > 25 and abs(stage_history[-25] - energy) < self.tolerance:
                     break
             state = ansatz_state(num_qubits, best_parameters, self.layers)
             value = float(np.real(state.conj() @ matrix @ state))

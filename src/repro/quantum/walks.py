@@ -85,9 +85,7 @@ class QuantumWalk:
 
     def mixing_profile(self, source: int, times) -> np.ndarray:
         """Stacked probability profiles for a time grid (rows = times)."""
-        return np.vstack(
-            [self.probability_profile(source, float(t)) for t in times]
-        )
+        return np.vstack([self.probability_profile(source, float(t)) for t in times])
 
 
 def directional_transport_bias(

@@ -42,16 +42,12 @@ def dense_lowest_eigenpairs(
     if not is_hermitian(matrix, atol=1e-8):
         raise ConvergenceError("dense_lowest_eigenpairs requires a Hermitian matrix")
     if not 1 <= k <= matrix.shape[0]:
-        raise ConvergenceError(
-            f"k must be in [1, {matrix.shape[0]}], got {k}"
-        )
+        raise ConvergenceError(f"k must be in [1, {matrix.shape[0]}], got {k}")
     values, vectors = np.linalg.eigh(matrix)
     return values[:k], vectors[:, :k]
 
 
-def sparse_lowest_eigenpairs(
-    matrix, k: int
-) -> tuple[np.ndarray, np.ndarray]:
+def sparse_lowest_eigenpairs(matrix, k: int) -> tuple[np.ndarray, np.ndarray]:
     """The k lowest eigenpairs via the sparse backend (ARPACK Lanczos).
 
     Accepts either representation: dense input is CSR-converted through
@@ -63,9 +59,7 @@ def sparse_lowest_eigenpairs(
     return backend.lowest_eigenpairs(as_backend_matrix(matrix, backend), k)
 
 
-def lowest_eigenpairs(
-    matrix, k: int, backend=None
-) -> tuple[np.ndarray, np.ndarray]:
+def lowest_eigenpairs(matrix, k: int, backend=None) -> tuple[np.ndarray, np.ndarray]:
     """Representation-agnostic k-lowest-eigenpairs dispatcher.
 
     Parameters
@@ -153,11 +147,7 @@ def lanczos_lowest_eigenpairs(
         for vector in basis:
             w = w - np.vdot(vector, w) * vector
         beta = float(np.linalg.norm(w))
-        tridiagonal = (
-            np.diag(alphas)
-            + np.diag(betas, 1)
-            + np.diag(betas, -1)
-        )
+        tridiagonal = np.diag(alphas) + np.diag(betas, 1) + np.diag(betas, -1)
         ritz_values = np.linalg.eigvalsh(tridiagonal)
         if len(alphas) >= k:
             current = ritz_values[:k]

@@ -34,7 +34,9 @@ def row_normalize(matrix: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
     """
     matrix = np.asarray(matrix, dtype=float)
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    return np.where(norms > epsilon, matrix / np.where(norms > epsilon, norms, 1.0), 0.0)
+    return np.where(
+        norms > epsilon, matrix / np.where(norms > epsilon, norms, 1.0), 0.0
+    )
 
 
 def spectral_embedding(

@@ -116,9 +116,7 @@ def kmeans(
         raise ClusteringError(f"points must be 2-D, got shape {points.shape}")
     n = points.shape[0]
     if not 1 <= num_clusters <= n:
-        raise ClusteringError(
-            f"num_clusters must be in [1, {n}], got {num_clusters}"
-        )
+        raise ClusteringError(f"num_clusters must be in [1, {n}], got {num_clusters}")
     if max_iterations < 1 or num_restarts < 1:
         raise ClusteringError("max_iterations and num_restarts must be >= 1")
     rng = ensure_rng(seed)
@@ -135,9 +133,7 @@ def kmeans(
                 converged = True
                 break
             labels = new_labels
-        inertia = float(
-            ((points - centroids[labels]) ** 2).sum()
-        )
+        inertia = float(((points - centroids[labels]) ** 2).sum())
         candidate = KMeansResult(
             labels=labels,
             centroids=centroids,

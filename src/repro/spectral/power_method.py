@@ -98,9 +98,7 @@ def lowest_eigenpairs_by_power(
     if not 1 <= k <= n:
         raise ConvergenceError(f"k must be in [1, {n}], got {k}")
     if spectral_bound is None:
-        spectral_bound = float(
-            np.abs(matrix).sum(axis=1).max()
-        )  # Gershgorin bound
+        spectral_bound = float(np.abs(matrix).sum(axis=1).max())  # Gershgorin bound
     shifted = spectral_bound * np.eye(n) - matrix
     rng = ensure_rng(seed)
     values = []

@@ -68,9 +68,7 @@ class TestSelectThreshold:
 class TestQMeans:
     def blobs(self, seed=0):
         rng = np.random.default_rng(seed)
-        points = np.vstack(
-            [rng.normal(0, 0.15, (25, 2)), rng.normal(4, 0.15, (25, 2))]
-        )
+        points = np.vstack([rng.normal(0, 0.15, (25, 2)), rng.normal(4, 0.15, (25, 2))])
         truth = np.repeat([0, 1], 25)
         return points, truth
 

@@ -84,9 +84,7 @@ class TestAnalyticBackend:
         accepted = np.flatnonzero(
             np.arange(2**7) / 2**7 * backend.lambda_scale <= threshold
         )
-        probabilities = [
-            backend.project_row(node, accepted)[1] for node in range(16)
-        ]
+        probabilities = [backend.project_row(node, accepted)[1] for node in range(16)]
         assert abs(np.mean(probabilities) - 2 / 16) < 0.05
 
     def test_node_range_validated(self):

@@ -120,9 +120,7 @@ class TestAnalyticPipeline:
 class TestAutoK:
     @pytest.mark.parametrize("k_true", [2, 3])
     def test_auto_selects_and_clusters(self, k_true):
-        graph, truth = mixed_sbm(
-            36, k_true, p_intra=0.7, p_inter=0.02, seed=k_true
-        )
+        graph, truth = mixed_sbm(36, k_true, p_intra=0.7, p_inter=0.02, seed=k_true)
         config = QSCConfig(
             precision_bits=7, shots=1024, histogram_shots=16384, seed=k_true
         )
@@ -155,9 +153,7 @@ class TestAutoK:
 class TestCircuitPipeline:
     def test_small_graph_end_to_end(self):
         graph, truth = mixed_sbm(12, 2, p_intra=0.8, p_inter=0.05, seed=0)
-        config = QSCConfig(
-            backend="circuit", precision_bits=5, shots=1024, seed=3
-        )
+        config = QSCConfig(backend="circuit", precision_bits=5, shots=1024, seed=3)
         result = QuantumSpectralClustering(2, config).fit(graph)
         assert result.backend_name == "circuit"
         assert adjusted_rand_index(truth, result.labels) > 0.6
@@ -195,9 +191,7 @@ class TestNetlistClustering:
         )
         graph = netlist.to_mixed_graph(net_cliques=True)
         truth = netlist.module_labels()
-        config = QSCConfig(
-            precision_bits=7, shots=2048, theta=float(np.pi / 4), seed=6
-        )
+        config = QSCConfig(precision_bits=7, shots=2048, theta=float(np.pi / 4), seed=6)
         result = QuantumSpectralClustering(3, config).fit(graph)
         assert adjusted_rand_index(truth, result.labels) > 0.5
 

@@ -39,9 +39,7 @@ def legacy_loop_readout(backend, accepted, shots, seed):
         filtered, probability = filtered_rows[node], probabilities[node]
         if probability <= 0.0:
             continue
-        estimated_state = tomography_estimate(
-            filtered, shots, seed=row_rngs[node]
-        )
+        estimated_state = tomography_estimate(filtered, shots, seed=row_rngs[node])
         if shots > 0:
             successes = row_rngs[node].binomial(shots, min(probability, 1.0))
             estimated_probability = successes / shots
@@ -68,9 +66,7 @@ def per_row_loop_readout(backend, accepted, shots, seed):
         filtered, probability = backend.project_row(node, accepted)
         if probability <= 0.0:
             continue
-        estimated_state = tomography_estimate(
-            filtered, shots, seed=row_rngs[node]
-        )
+        estimated_state = tomography_estimate(filtered, shots, seed=row_rngs[node])
         if shots > 0:
             successes = row_rngs[node].binomial(shots, min(probability, 1.0))
             estimated_probability = successes / shots
@@ -85,9 +81,7 @@ def per_row_loop_readout(backend, accepted, shots, seed):
 def make_case(backend_name, num_nodes, shots, precision_bits=5, seed=3):
     graph, _ = mixed_sbm(num_nodes, 2, seed=seed)
     laplacian = hermitian_laplacian(graph, backend="dense")
-    config = QSCConfig(
-        backend=backend_name, precision_bits=precision_bits, shots=shots
-    )
+    config = QSCConfig(backend=backend_name, precision_bits=precision_bits, shots=shots)
     backend = make_backend(laplacian, config)
     accepted = accepted_outcomes(0.4, precision_bits, backend.lambda_scale)
     return backend, accepted, laplacian, config
@@ -123,20 +117,14 @@ def test_fit_identical_for_all_chunk_sizes(backend_name):
     """Same seed ⇒ identical labels and row norms whatever the chunking."""
     n = 16 if backend_name == "circuit" else 36
     graph, _ = mixed_sbm(n, 2, seed=5)
-    base_config = QSCConfig(
-        backend=backend_name, precision_bits=5, shots=192, seed=11
-    )
+    base_config = QSCConfig(backend=backend_name, precision_bits=5, shots=192, seed=11)
     reference = QuantumSpectralClustering(2, base_config).fit(graph)
     for chunk in (1, 3, n // 2, n, n + 7):
         config = base_config.with_updates(readout_chunk_size=chunk)
         result = QuantumSpectralClustering(2, config).fit(graph)
         np.testing.assert_array_equal(result.labels, reference.labels)
-        np.testing.assert_allclose(
-            result.row_norms, reference.row_norms, atol=1e-12
-        )
-        np.testing.assert_allclose(
-            result.embedding, reference.embedding, atol=1e-9
-        )
+        np.testing.assert_allclose(result.row_norms, reference.row_norms, atol=1e-12)
+        np.testing.assert_allclose(result.embedding, reference.embedding, atol=1e-9)
 
 
 def test_chunked_readout_property():
@@ -145,9 +133,7 @@ def test_chunked_readout_property():
     backend, accepted, _, _ = make_case("analytic", 30, 64)
     reference = batched_readout(backend, accepted, 64, ensure_rng(2))
     for chunk in range(1, 35, 3):
-        result = batched_readout(
-            backend, accepted, 64, ensure_rng(2), chunk_size=chunk
-        )
+        result = batched_readout(backend, accepted, 64, ensure_rng(2), chunk_size=chunk)
         np.testing.assert_allclose(result.rows, reference.rows, atol=1e-10)
         np.testing.assert_array_equal(
             result.probabilities > 0, reference.probabilities > 0
@@ -195,16 +181,12 @@ def test_circuit_uncached_fallback_matches():
     from repro.core import qpe_engine
 
     backend, accepted, laplacian, config = make_case("circuit", 10, 0)
-    cached_states, cached_probabilities = backend.project_rows(
-        np.arange(10), accepted
-    )
+    cached_states, cached_probabilities = backend.project_rows(np.arange(10), accepted)
     original = qpe_engine.FORWARD_TABLE_CACHE_MAX_ENTRIES
     qpe_engine.FORWARD_TABLE_CACHE_MAX_ENTRIES = 0
     try:
         uncached_backend = make_backend(laplacian, config)
-        states, probabilities = uncached_backend.project_rows(
-            np.arange(10), accepted
-        )
+        states, probabilities = uncached_backend.project_rows(np.arange(10), accepted)
         assert uncached_backend._forward_table is None
     finally:
         qpe_engine.FORWARD_TABLE_CACHE_MAX_ENTRIES = original
@@ -218,13 +200,9 @@ def test_chunk_size_never_widens_circuit_batches():
     from repro.core.qpe_engine import DEFAULT_MAX_BATCH_COLUMNS
 
     _, _, laplacian, config = make_case("circuit", 10, 0)
-    small = make_backend(
-        laplacian, config.with_updates(readout_chunk_size=3)
-    )
+    small = make_backend(laplacian, config.with_updates(readout_chunk_size=3))
     assert small.max_batch_columns == 3
-    huge = make_backend(
-        laplacian, config.with_updates(readout_chunk_size=100_000)
-    )
+    huge = make_backend(laplacian, config.with_updates(readout_chunk_size=100_000))
     assert huge.max_batch_columns == DEFAULT_MAX_BATCH_COLUMNS
 
 

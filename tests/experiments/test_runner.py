@@ -57,9 +57,7 @@ def tiny_spec(**overrides) -> SweepSpec:
 
 class TestSweepSpec:
     def test_points_are_the_cartesian_product_first_axis_outermost(self):
-        spec = tiny_spec(
-            axes=(SweepAxis("a", (1, 2)), SweepAxis("b", ("x", "y")))
-        )
+        spec = tiny_spec(axes=(SweepAxis("a", (1, 2)), SweepAxis("b", ("x", "y"))))
         assert spec.points() == [
             {"a": 1, "b": "x"},
             {"a": 1, "b": "y"},
@@ -87,13 +85,9 @@ class TestSweepSpec:
         assert tiny_spec().with_updates(trials=7).trials == 7
 
     def test_legacy_seed_formulas_are_preserved(self):
-        fig2_tasks = fig2_precision_sweep.spec(
-            precisions=(2, 7), trials=2
-        ).tasks()
+        fig2_tasks = fig2_precision_sweep.spec(precisions=(2, 7), trials=2).tasks()
         assert [t.seed for t in fig2_tasks] == [702, 733, 707, 738]
-        fig4_tasks = fig4_shots_sweep.spec(
-            shot_budgets=(16, 64), trials=2
-        ).tasks()
+        fig4_tasks = fig4_shots_sweep.spec(shot_budgets=(16, 64), trials=2).tasks()
         assert [t.seed for t in fig4_tasks] == [1116, 1169, 1164, 1217]
 
     def test_fig3_extra_trials_use_distinct_seeds(self):
@@ -149,9 +143,7 @@ class TestSweepRunner:
         from repro.core.qpe_engine import clear_spectral_cache
 
         clear_spectral_cache()
-        spec = fig4_shots_sweep.spec(
-            shot_budgets=(16,), num_nodes=16, trials=1
-        )
+        spec = fig4_shots_sweep.spec(shot_budgets=(16,), num_nodes=16, trials=1)
         result = SweepRunner(spec).run()
         # noiseless fit misses (decomposition + kernel); the finite-shot
         # fit on the same graph hits both.

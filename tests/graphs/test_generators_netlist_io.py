@@ -42,9 +42,7 @@ class TestMixedSBM:
         assert intra > 3 * inter
 
     def test_inter_arcs_oriented_low_to_high(self):
-        g, labels = mixed_sbm(
-            40, 2, p_inter=0.3, inter_directed_fraction=1.0, seed=2
-        )
+        g, labels = mixed_sbm(40, 2, p_inter=0.3, inter_directed_fraction=1.0, seed=2)
         for edge in g.edges():
             if edge.directed and labels[edge.u] != labels[edge.v]:
                 assert labels[edge.u] < labels[edge.v]
@@ -60,9 +58,7 @@ class TestMixedSBM:
     def test_reproducible_with_seed(self):
         g1, _ = mixed_sbm(20, 2, seed=42)
         g2, _ = mixed_sbm(20, 2, seed=42)
-        assert np.allclose(
-            g1.symmetrized_adjacency(), g2.symmetrized_adjacency()
-        )
+        assert np.allclose(g1.symmetrized_adjacency(), g2.symmetrized_adjacency())
 
 
 class TestCyclicFlowSBM:
@@ -230,9 +226,7 @@ class TestGraphIO:
         assert back.num_nodes == g.num_nodes
         assert back.num_edges == g.num_edges
         assert back.num_arcs == g.num_arcs
-        assert np.allclose(
-            back.symmetrized_adjacency(), g.symmetrized_adjacency()
-        )
+        assert np.allclose(back.symmetrized_adjacency(), g.symmetrized_adjacency())
 
     def test_file_roundtrip(self, tmp_path):
         g = random_mixed_graph(8, 0.5, seed=0)

@@ -134,9 +134,7 @@ class TestConversions:
         back = MixedGraph.from_networkx(g.to_networkx())
         assert back.num_edges == g.num_edges
         assert back.num_arcs == g.num_arcs
-        assert np.allclose(
-            back.symmetrized_adjacency(), g.symmetrized_adjacency()
-        )
+        assert np.allclose(back.symmetrized_adjacency(), g.symmetrized_adjacency())
 
     def test_from_undirected_networkx(self):
         nxg = nx.path_graph(4)
@@ -182,7 +180,5 @@ class TestProperties:
     def test_roundtrip_through_networkx(self, seed):
         g = random_mixed_graph(9, 0.4, seed=seed)
         back = MixedGraph.from_networkx(g.to_networkx())
-        assert np.allclose(
-            back.symmetrized_adjacency(), g.symmetrized_adjacency()
-        )
+        assert np.allclose(back.symmetrized_adjacency(), g.symmetrized_adjacency())
         assert back.num_arcs == g.num_arcs

@@ -58,9 +58,7 @@ class TestEigenpairEquivalence:
         graph, _ = mixed_sbm(40, 2, seed=seed)
         laplacian = hermitian_laplacian(graph)
         k = 3
-        dense_values, dense_vectors = lowest_eigenpairs(
-            laplacian, k, backend="dense"
-        )
+        dense_values, dense_vectors = lowest_eigenpairs(laplacian, k, backend="dense")
         sparse_backend = SparseBackend(dense_fallback_dim=8)
         sparse_values, sparse_vectors = sparse_backend.lowest_eigenpairs(
             as_backend_matrix(laplacian, sparse_backend), k
@@ -109,9 +107,7 @@ class TestLabelEquivalence:
         )
         dense = ClassicalSpectralClustering(3, backend="dense", seed=0).fit(graph)
         sparse = ClassicalSpectralClustering(3, backend="sparse", seed=0).fit(graph)
-        assert adjusted_rand_index(dense.labels, sparse.labels) == pytest.approx(
-            1.0
-        )
+        assert adjusted_rand_index(dense.labels, sparse.labels) == pytest.approx(1.0)
         assert adjusted_rand_index(truth, sparse.labels) > 0.9
 
     def test_auto_backend_matches_forced_backends(self):
@@ -127,9 +123,7 @@ class TestLabelEquivalence:
         graph, truth = mixed_sbm(24, 2, p_intra=0.6, p_inter=0.04, seed=1)
         labels = {}
         for name in ("auto", "dense", "sparse"):
-            config = QSCConfig(
-                linalg_backend=name, precision_bits=6, shots=0, seed=5
-            )
+            config = QSCConfig(linalg_backend=name, precision_bits=6, shots=0, seed=5)
             labels[name] = QuantumSpectralClustering(2, config).fit(graph).labels
         assert adjusted_rand_index(labels["dense"], labels["sparse"]) == (
             pytest.approx(1.0)

@@ -39,9 +39,7 @@ class TestAmplification:
         assert np.isclose(success_probability(uniform_state(8), [3]), 1 / 8)
 
     def test_single_marked_item_amplifies(self):
-        state, final, iterations = amplitude_amplification(
-            uniform_state(64), [17]
-        )
+        state, final, iterations = amplitude_amplification(uniform_state(64), [17])
         assert final > 0.9
         assert iterations >= 1
         assert np.isclose(np.linalg.norm(state), 1.0)

@@ -1,0 +1,76 @@
+"""Batched QPE outcome distributions: bit-identity and shape contracts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.quantum.phase_estimation import (
+    qpe_outcome_distribution,
+    qpe_outcome_distributions,
+)
+
+
+class TestBatchedOutcomeDistributions:
+    def test_batch_rows_equal_scalar_calls_exactly(self):
+        rng = np.random.default_rng(0)
+        phases = np.concatenate(
+            [
+                rng.random(64),
+                # exact dyadic phases hit the Dirichlet-kernel limit branch
+                np.arange(8) / 32.0,
+                [0.0, 0.999999999, 1.0, 1.25, -0.25],
+            ]
+        )
+        for precision in (1, 3, 5):
+            batch = qpe_outcome_distributions(phases, precision)
+            loop = np.vstack(
+                [qpe_outcome_distribution(p, precision) for p in phases]
+            )
+            assert np.array_equal(batch, loop)
+
+    def test_rows_are_distributions(self):
+        batch = qpe_outcome_distributions(
+            np.random.default_rng(1).random(32), 6
+        )
+        assert batch.shape == (32, 64)
+        assert (batch >= 0).all()
+        assert np.allclose(batch.sum(axis=1), 1.0)
+
+    def test_dyadic_phase_is_deterministic_readout(self):
+        batch = qpe_outcome_distributions([3 / 8], 3)
+        expected = np.zeros(8)
+        expected[3] = 1.0
+        assert np.allclose(batch[0], expected)
+
+    def test_scalar_is_a_batch_of_one(self):
+        assert np.array_equal(
+            qpe_outcome_distribution(0.37, 4),
+            qpe_outcome_distributions([0.37], 4)[0],
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            qpe_outcome_distributions([0.1], 0)
+        with pytest.raises(CircuitError):
+            qpe_outcome_distributions([[0.1, 0.2], [0.3, 0.4]], 3)
+
+    def test_empty_phase_list(self):
+        batch = qpe_outcome_distributions([], 3)
+        assert batch.shape == (0, 8)
+
+
+class TestKernelCacheUsesBatchedBuild:
+    def test_cached_kernel_matches_scalar_loop(self):
+        from repro.core.qpe_engine import AnalyticQPEBackend, pad_laplacian
+        from repro.graphs import hermitian_laplacian, mixed_sbm
+
+        graph, _ = mixed_sbm(12, 2, seed=3)
+        laplacian = hermitian_laplacian(graph)
+        backend = AnalyticQPEBackend(laplacian, 4)
+        padded = pad_laplacian(np.asarray(laplacian, dtype=complex))
+        eigenvalues = np.linalg.eigvalsh(padded)
+        phases = eigenvalues / backend.lambda_scale
+        loop = np.vstack(
+            [qpe_outcome_distribution(phase, 4) for phase in phases]
+        )
+        assert np.allclose(backend._kernel, loop)

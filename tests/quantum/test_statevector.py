@@ -100,9 +100,7 @@ class TestGateApplication:
         swapped = sv.copy()
         swapped.apply_gate(gates.SWAP, [0, 2])
         tensor = sv.amplitudes.reshape(2, 2, 2)
-        assert np.allclose(
-            swapped.amplitudes, np.transpose(tensor, (2, 1, 0)).ravel()
-        )
+        assert np.allclose(swapped.amplitudes, np.transpose(tensor, (2, 1, 0)).ravel())
 
 
 class TestMeasurement:

@@ -86,9 +86,7 @@ class TestSpectralEmbedding:
 class TestKMeans:
     def test_obvious_clusters(self):
         rng = np.random.default_rng(0)
-        points = np.vstack(
-            [rng.normal(0, 0.1, (20, 2)), rng.normal(5, 0.1, (20, 2))]
-        )
+        points = np.vstack([rng.normal(0, 0.1, (20, 2)), rng.normal(5, 0.1, (20, 2))])
         result = kmeans(points, 2, seed=0)
         truth = np.repeat([0, 1], 20)
         assert adjusted_rand_index(truth, result.labels) == 1.0

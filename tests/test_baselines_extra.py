@@ -39,9 +39,7 @@ class TestNystrom:
                 result = NystromSpectralClustering(
                     2, num_landmarks=landmarks, seed=seed
                 ).fit(graph)
-                scores[landmarks].append(
-                    adjusted_rand_index(truth, result.labels)
-                )
+                scores[landmarks].append(adjusted_rand_index(truth, result.labels))
         assert np.mean(scores[40]) >= np.mean(scores[8]) - 0.05
 
     def test_landmark_validation(self):

@@ -72,6 +72,25 @@ class TestClusterCommand:
         assert code == 1
         assert "readout_chunk_size" in capsys.readouterr().err
 
+    def test_draw_threads_matches_serial(self, graph_file, capsys):
+        path, _ = graph_file
+        args = [
+            "cluster",
+            "--input",
+            path,
+            "--clusters",
+            "2",
+            "--shots",
+            "128",
+            "--seed",
+            "1",
+        ]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--draw-threads", "3"]) == 0
+        threaded = capsys.readouterr().out
+        assert threaded.splitlines()[0] == serial.splitlines()[0]
+
     def test_classical_cluster(self, graph_file, capsys):
         path, _ = graph_file
         code = main(
@@ -152,6 +171,76 @@ class TestGenerateCommand:
         assert main(["generate", "--kind", "random", "--output", str(out_path)]) == 0
         assert graph_io.load(out_path).num_nodes == 60
 
+    def test_generate_v2_version(self, tmp_path):
+        v2_path = tmp_path / "v2.mixed"
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "mixed",
+                "--nodes",
+                "40",
+                "--seed",
+                "3",
+                "--generator-version",
+                "v2",
+                "--output",
+                str(v2_path),
+            ]
+        )
+        assert code == 0
+        v2_graph = graph_io.load(v2_path)
+        assert v2_graph.num_nodes == 40
+        # v2 is a different seed contract: same distribution, new stream
+        v1_path = tmp_path / "v1.mixed"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--kind",
+                    "mixed",
+                    "--nodes",
+                    "40",
+                    "--seed",
+                    "3",
+                    "--output",
+                    str(v1_path),
+                ]
+            )
+            == 0
+        )
+        v1_graph = graph_io.load(v1_path)
+        total_v1 = v1_graph.num_edges + v1_graph.num_arcs
+        total_v2 = v2_graph.num_edges + v2_graph.num_arcs
+        assert abs(total_v1 - total_v2) <= max(0.35 * total_v1, 10)
+
+    def test_generate_rejects_version_for_sparse_kind(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "sparse",
+                "--generator-version",
+                "v2",
+                "--output",
+                str(tmp_path / "s.mixed"),
+            ]
+        )
+        assert code == 1
+        assert "mixed/flow" in capsys.readouterr().err
+
+    def test_generate_rejects_unknown_version(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "generate",
+                    "--generator-version",
+                    "v9",
+                    "--output",
+                    str(tmp_path / "x.mixed"),
+                ]
+            )
+
 
 class TestBenchCommand:
     def test_c17(self, capsys):
@@ -188,6 +277,26 @@ class TestExperimentsCommand:
         artifact = validate_artifact_file(tmp_path / "fig1.json")
         assert artifact["name"] == "fig1"
         assert artifact["spec"]["trials"] == 1
+
+    def test_generator_version_recorded_in_artifact(self, tmp_path, capsys):
+        from repro.experiments.runner import validate_artifact_file
+
+        code = main(
+            [
+                "experiments",
+                "--only",
+                "fig1",
+                "--trials",
+                "1",
+                "--generator-version",
+                "v2",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        artifact = validate_artifact_file(tmp_path / "fig1.json")
+        assert artifact["spec"]["fixed"]["generator_version"] == "v2"
 
     def test_unknown_experiment_errors(self, capsys):
         assert main(["experiments", "--only", "fig9"]) == 1

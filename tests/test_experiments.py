@@ -78,24 +78,18 @@ class TestQuickRuns:
         assert "quantum" in table1_msbm.table(records)
 
     def test_t2(self):
-        records = table2_netlist.run(
-            module_counts=(2,), gates_per_module=10, trials=1
-        )
+        records = table2_netlist.run(module_counts=(2,), gates_per_module=10, trials=1)
         assert any(r.method == "quantum" for r in records)
         assert "modules" in table2_netlist.table(records)
 
     def test_f1(self):
-        records = fig1_direction_sweep.run(
-            strengths=(1.0,), num_nodes=30, trials=1
-        )
+        records = fig1_direction_sweep.run(strengths=(1.0,), num_nodes=30, trials=1)
         quantum = [r for r in records if r.method == "quantum"]
         assert len(quantum) == 1
         assert "strength" in fig1_direction_sweep.series(records)
 
     def test_f2(self):
-        records = fig2_precision_sweep.run(
-            precisions=(3, 7), num_nodes=24, trials=1
-        )
+        records = fig2_precision_sweep.run(precisions=(3, 7), num_nodes=24, trials=1)
         assert all("bulk_leakage" in r.extra for r in records)
         leak = {r.parameters["p"]: r.extra["bulk_leakage"] for r in records}
         assert leak[7] <= leak[3]
@@ -109,12 +103,8 @@ class TestQuickRuns:
         assert "fitted exponents" in fig3_runtime_scaling.series(samples)
 
     def test_f4(self):
-        records = fig4_shots_sweep.run(
-            shot_budgets=(64, 1024), num_nodes=24, trials=1
-        )
-        errors = {
-            r.parameters["shots"]: r.extra["embedding_error"] for r in records
-        }
+        records = fig4_shots_sweep.run(shot_budgets=(64, 1024), num_nodes=24, trials=1)
+        errors = {r.parameters["shots"]: r.extra["embedding_error"] for r in records}
         assert errors[1024] < errors[64]
         assert "embed_err" in fig4_shots_sweep.series(records)
 
@@ -130,15 +120,11 @@ class TestQuickRuns:
         assert rows[-1]["ari_mean"] > rows[0]["ari_mean"]
 
     def test_a3(self):
-        rows = ablations.noise_ablation(
-            depolarizing_rates=(0.0, 0.05), shots=300
-        )
+        rows = ablations.noise_ablation(depolarizing_rates=(0.0, 0.05), shots=300)
         assert rows[1]["qpe_tv_distance"] > rows[0]["qpe_tv_distance"]
 
     def test_a4(self):
-        rows = ablations.autok_ablation(
-            cluster_counts=(2,), trials=2, shots=8192
-        )
+        rows = ablations.autok_ablation(cluster_counts=(2,), trials=2, shots=8192)
         assert rows[0]["quantum_hit_rate"] >= 0.5
 
     def test_a5(self):

@@ -120,18 +120,14 @@ class TestConfigBoundaries:
 
     def test_threshold_above_spectrum_accepts_everything(self):
         graph, _ = mixed_sbm(12, 2, seed=2)
-        config = QSCConfig(
-            precision_bits=5, shots=0, eigenvalue_threshold=10.0, seed=2
-        )
+        config = QSCConfig(precision_bits=5, shots=0, eigenvalue_threshold=10.0, seed=2)
         result = QuantumSpectralClustering(2, config).fit(graph)
         # full acceptance: every row keeps all its mass
         assert np.allclose(result.row_norms, 1.0, atol=1e-6)
 
     def test_tiny_threshold_rejects_everything(self):
         graph, _ = mixed_sbm(12, 2, seed=3)
-        config = QSCConfig(
-            precision_bits=3, shots=0, eigenvalue_threshold=1e-9, seed=3
-        )
+        config = QSCConfig(precision_bits=3, shots=0, eigenvalue_threshold=1e-9, seed=3)
         # bin 0 always satisfies value 0 <= threshold, so this still runs;
         # rows keep only their bin-0 kernel mass
         result = QuantumSpectralClustering(2, config).fit(graph)

@@ -73,9 +73,7 @@ class TestFrontEndAgreement:
         sub = graph.subgraph(range(8))
         laplacian = hermitian_laplacian(sub)
         _, dense = dense_lowest_eigenpairs(laplacian, 2)
-        result = VQESolver(layers=3, max_iterations=250, seed=2).solve(
-            laplacian, k=2
-        )
+        result = VQESolver(layers=3, max_iterations=250, seed=2).solve(laplacian, k=2)
         assert subspace_fidelity(dense, result.eigenvectors) > 0.98
 
     def test_qpe_filter_matches_exact_projector(self, strong_graph):
@@ -102,9 +100,7 @@ class TestFrontEndAgreement:
 class TestQuantumClassicalEquivalence:
     def test_noiseless_quantum_equals_classical(self, strong_graph):
         graph, truth = strong_graph
-        config = QSCConfig(
-            precision_bits=8, shots=0, qmeans_delta=0.0, seed=3
-        )
+        config = QSCConfig(precision_bits=8, shots=0, qmeans_delta=0.0, seed=3)
         quantum = QuantumSpectralClustering(2, config).fit(graph)
         classical = ClassicalSpectralClustering(2, seed=3).fit(graph)
         assert adjusted_rand_index(quantum.labels, classical.labels) == 1.0
@@ -139,9 +135,7 @@ class TestNetlistChain:
         hypergraph = Hypergraph.from_netlist(netlist)
         graph = hypergraph.to_mixed_graph("clique")
         ensure_connected(graph, seed=0)
-        config = QSCConfig(
-            precision_bits=7, shots=1024, theta=float(np.pi / 4), seed=1
-        )
+        config = QSCConfig(precision_bits=7, shots=1024, theta=float(np.pi / 4), seed=1)
         result = QuantumSpectralClustering(2, config).fit(graph)
         truth = netlist.module_labels()
         # hypergraph-native and graph metrics must both see the partition

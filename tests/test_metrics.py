@@ -50,9 +50,7 @@ class TestARI:
     def test_symmetry(self, labels, other):
         size = min(len(labels), len(other))
         a, b = labels[:size], other[:size]
-        assert np.isclose(
-            adjusted_rand_index(a, b), adjusted_rand_index(b, a)
-        )
+        assert np.isclose(adjusted_rand_index(a, b), adjusted_rand_index(b, a))
 
     def test_length_mismatch_rejected(self):
         with pytest.raises(ClusteringError):
@@ -72,9 +70,7 @@ class TestNMIAccuracy:
         assert 0.0 <= value <= 1.0
 
     def test_nmi_perfect(self):
-        assert np.isclose(
-            normalized_mutual_information([0, 1, 2], [2, 0, 1]), 1.0
-        )
+        assert np.isclose(normalized_mutual_information([0, 1, 2], [2, 0, 1]), 1.0)
 
     def test_accuracy_perfect_under_permutation(self):
         assert matched_accuracy([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0

@@ -122,9 +122,7 @@ class TestQPEKernelProperties:
         center = phase * size
         # >= 8/π² of the mass within one bin of the true phase (cyclic)
         indices = np.arange(size)
-        distance = np.minimum(
-            np.abs(indices - center), size - np.abs(indices - center)
-        )
+        distance = np.minimum(np.abs(indices - center), size - np.abs(indices - center))
         near = probs[distance <= 1.0].sum()
         assert near >= 8 / np.pi**2 - 1e-9
 
@@ -141,9 +139,7 @@ class TestGraphContainerProperties:
     @given(seed=graph_seeds, directed=st.floats(0.0, 1.0))
     @settings(max_examples=30, deadline=None)
     def test_degree_sum_equals_twice_total_weight(self, seed, directed):
-        graph = random_mixed_graph(
-            8, 0.5, directed_fraction=directed, seed=seed
-        )
+        graph = random_mixed_graph(8, 0.5, directed_fraction=directed, seed=seed)
         total_weight = sum(e.weight for e in graph.edges())
         assert np.isclose(graph.degrees().sum(), 2.0 * total_weight)
 
@@ -152,7 +148,5 @@ class TestGraphContainerProperties:
     def test_subgraph_of_all_nodes_is_identity(self, seed):
         graph = random_graph(seed)
         sub = graph.subgraph(range(graph.num_nodes))
-        assert np.allclose(
-            sub.symmetrized_adjacency(), graph.symmetrized_adjacency()
-        )
+        assert np.allclose(sub.symmetrized_adjacency(), graph.symmetrized_adjacency())
         assert sub.num_arcs == graph.num_arcs

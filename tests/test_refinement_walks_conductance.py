@@ -106,9 +106,7 @@ class TestRecursiveBisection:
         netlist = synthetic_netlist(2, 14, internal_fanin=3, seed=3)
         graph = netlist.to_mixed_graph(net_cliques=True)
         ensure_connected(graph, seed=3)
-        labels = recursive_spectral_partition(
-            graph, 2, theta=float(np.pi / 4), seed=0
-        )
+        labels = recursive_spectral_partition(graph, 2, theta=float(np.pi / 4), seed=0)
         truth = netlist.module_labels()
         assert adjusted_rand_index(truth, labels) > 0.5
 

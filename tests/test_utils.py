@@ -80,6 +80,4 @@ class TestLinalgPredicates:
 
     def test_frobenius_distance(self):
         assert frobenius_distance(np.eye(2), np.eye(2)) == 0.0
-        assert np.isclose(
-            frobenius_distance(np.zeros((2, 2)), np.eye(2)), np.sqrt(2)
-        )
+        assert np.isclose(frobenius_distance(np.zeros((2, 2)), np.eye(2)), np.sqrt(2))
