@@ -45,22 +45,31 @@ def test_bench_precision_sweep(benchmark, quick_trials):
     warm_seconds = min(warm.elapsed_seconds, runner.run().elapsed_seconds)
     records = cold.records
 
-    # cache accounting: cold, each trial's diagnostics backend reuses the
-    # fit's decomposition and kernel (2 hits/trial); warm, everything
-    # spectral is served from cache (4 hits/trial, 0 misses).
+    # cache accounting: cold, each trial's fit misses its decomposition and
+    # kernel; the diagnostics pass reuses the fit pipeline's own backend
+    # (staged-state reuse — no second construction, not even a cache hit).
+    # Warm, the fit's spectral work is fully cache-served.
     benchmark.extra_info["cold_cache"] = cold.cache
     benchmark.extra_info["warm_cache"] = warm.cache
     assert cold.cache["misses"] == 2 * len(tasks)
-    assert cold.cache["hits"] == 2 * len(tasks)
+    assert cold.cache["hits"] == 0
     assert warm.cache["misses"] == 0
-    assert warm.cache["hits"] == 4 * len(tasks)
+    assert warm.cache["hits"] == 2 * len(tasks)
+    # per-stage telemetry: every trial computed all five stages for real
+    assert cold.profile["laplacian"]["computed"] == len(tasks)
+    assert cold.profile["laplacian"]["loaded"] == 0
+    assert cold.profile["qmeans"]["computed"] == len(tasks)
 
     # cache transparency: hit or miss, the records are identical — and the
-    # warm pass must be an end-to-end win, not just a spectral one.
+    # warm pass must be an end-to-end win, not just a spectral one.  The
+    # margin shrank when the staged pipeline removed the per-trial
+    # diagnostics rebuild from the cold pass (the cold sweep got cheaper),
+    # so the gate only asserts a real win above timer noise; the spectral
+    # ≥2x gate below is the enforced contract.
     assert warm.records == records
     sweep_speedup = cold.elapsed_seconds / warm_seconds
     benchmark.extra_info["sweep_warm_speedup"] = sweep_speedup
-    assert sweep_speedup >= 1.2, f"warm sweep speedup only {sweep_speedup:.2f}x"
+    assert sweep_speedup >= 1.05, f"warm sweep speedup only {sweep_speedup:.2f}x"
 
     # spectral path: the (Laplacian, precision) constructions of the sweep,
     # cold vs cache-served — the work the cache removes from sweep points

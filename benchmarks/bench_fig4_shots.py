@@ -27,11 +27,20 @@ def test_bench_shots_sweep(benchmark, quick_trials):
     result = benchmark.pedantic(runner.run, rounds=1, iterations=1)
     records = result.records
 
-    # cache accounting: per trial the noiseless fit misses (decomposition
-    # + kernel) and the finite-shot fit on the same graph hits both.
+    # accounting: per trial the noiseless fit misses its decomposition and
+    # kernel; the finite-shot fit resumes from the readout stage against
+    # the reference fit's in-memory state, so it constructs no backend at
+    # all — the upstream skip shows up in the per-stage telemetry instead
+    # of as cache hits.
     benchmark.extra_info["cache"] = result.cache
+    benchmark.extra_info["profile"] = result.profile
     assert result.cache["misses"] == 2 * num_tasks
-    assert result.cache["hits"] == 2 * num_tasks
+    assert result.cache["hits"] == 0
+    assert result.profile["laplacian"]["computed"] == num_tasks
+    assert result.profile["laplacian"]["loaded"] == num_tasks
+    assert result.profile["threshold"]["loaded"] == num_tasks
+    assert result.profile["readout"]["computed"] == 2 * num_tasks
+    assert result.profile["readout"]["loaded"] == 0
 
     def rows(shots):
         return [r for r in records if r.parameters["shots"] == shots]

@@ -18,6 +18,14 @@ import numpy as np
 MIN_GENERATOR_SPEEDUP = 5.0
 MIN_KERNEL_SPEEDUP = 3.0
 
+# Relative trend gate of the per-PR benchmark series
+# (``benchmarks/trajectory.py --series``): each speedup metric of the new
+# entry must reach at least this fraction of the previous PR's value.
+# Deliberately loose — both numbers come from different CI runs on noisy
+# shared runners, so this catches real regressions (a vectorized path
+# falling back to a loop) without flaking on scheduler jitter.
+MIN_RELATIVE_TREND = 0.5
+
 # Workload scales.
 GENERATOR_NODES = 1000
 GENERATOR_CLUSTERS = 3

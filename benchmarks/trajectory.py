@@ -1,14 +1,17 @@
-"""CI perf-trajectory runner: smoke-scale benches -> one BENCH_*.json.
+"""CI perf-trajectory runner: smoke-scale benches -> a per-PR series.
 
 The benchmark suite gates the repo's perf wins (generator vectorization,
 batched kernel build, spectral cache), but pytest-benchmark output is not
 a durable record.  This script runs the key measurements at smoke scale,
 enforces the shared gates (thresholds live in ``perf_gates`` so the
 pytest benchmarks and this runner cannot drift), and serializes one JSON
-summary — ``BENCH_pr4.json`` — that CI's ``bench-trajectory`` job uploads
-on every push, seeding the perf trajectory the ROADMAP asks for: any
-regression fails the job, and the artifact series shows the trend across
-PRs.
+summary per run.  With ``--series`` it additionally maintains
+``BENCH_trajectory.json`` — a schema-tagged list of one entry per PR —
+and **diffs the new entry against the previous PR's**: every speedup
+metric must reach at least ``perf_gates.MIN_RELATIVE_TREND`` of its
+predecessor (a *relative* regression gate on top of the absolute
+thresholds), so a vectorized path quietly degrading between PRs fails CI
+even while it still clears the absolute bar.
 
 Gating policy: wall-clock gates compare two timings from the *same* run
 (v1 vs v2, loop vs batch), which is robust on noisy shared runners; the
@@ -16,19 +19,25 @@ spectral cache is gated on its deterministic hit/miss counters, with the
 warm-sweep speedup recorded as data rather than enforced (a single
 scheduler stall in a ~50 ms sweep would otherwise flake CI —
 ``benchmarks/bench_fig2_precision.py`` still gates it for local runs).
+The cross-run trend gate uses the loose ``MIN_RELATIVE_TREND`` fraction
+because its two sides come from different CI runs.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/trajectory.py --out BENCH_pr4.json
+    PYTHONPATH=src python benchmarks/trajectory.py \
+        --out BENCH_pr5.json --series BENCH_trajectory.json --label pr5
 
-Exit status is non-zero if any gate fails; the JSON is written either way
-so the failing numbers are inspectable.
+Exit status is non-zero if any gate fails; the JSON (and the updated
+series) is written either way so the failing numbers are inspectable.
+An entry whose label already exists in the series is replaced, so local
+re-runs stay idempotent.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import platform
 import sys
 
@@ -39,6 +48,7 @@ from perf_gates import (
     KERNEL_PRECISION,
     MIN_GENERATOR_SPEEDUP,
     MIN_KERNEL_SPEEDUP,
+    MIN_RELATIVE_TREND,
     batch_kernel_build,
     best_seconds,
     generator_cases,
@@ -47,6 +57,7 @@ from perf_gates import (
 )
 
 SCHEMA = "repro.bench/1"
+SERIES_SCHEMA = "repro.bench-series/1"
 
 
 def measure_generators() -> dict:
@@ -108,6 +119,92 @@ def measure_sweep_cache() -> dict:
     }
 
 
+def trend_metrics(results: dict) -> dict:
+    """The speedup metrics compared across PR entries by the trend gate.
+
+    Only same-run *ratios* participate (absolute seconds shift with
+    runner hardware; the warm-sweep speedup is too short-lived to compare
+    across runs and is recorded as data only).
+    """
+    metrics = {
+        f"generator:{name}": row["speedup"]
+        for name, row in results["generators"].items()
+    }
+    metrics["kernel"] = results["kernel"]["speedup"]
+    return metrics
+
+
+def load_series(path) -> dict:
+    """Read (or initialise) the per-PR benchmark series."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {"schema": SERIES_SCHEMA, "entries": []}
+    with open(path, encoding="utf-8") as handle:
+        series = json.load(handle)
+    if series.get("schema") != SERIES_SCHEMA or not isinstance(
+        series.get("entries"), list
+    ):
+        raise AssertionError(
+            f"{path} is not a {SERIES_SCHEMA} series file"
+        )
+    return series
+
+
+def evaluate_trend_gates(summary: dict, series: dict) -> dict:
+    """Relative regression gates of ``summary`` against the previous entry.
+
+    The baseline is the newest series entry whose label differs from the
+    current one (so re-running a PR's benches diffs against the *previous
+    PR*, not against itself).  An empty series yields no trend gates —
+    the first entry only seeds the baseline.
+    """
+    previous = None
+    for entry in reversed(series["entries"]):
+        if entry.get("label") != summary["label"]:
+            previous = entry
+            break
+    if previous is None:
+        return {}
+    gates = {}
+    baseline = trend_metrics(previous["results"])
+    current = trend_metrics(summary["results"])
+    for name, value in current.items():
+        if name not in baseline:
+            continue  # metric introduced this PR: no baseline to diff
+        floor = baseline[name] * MIN_RELATIVE_TREND
+        gates[f"trend:{name}"] = {
+            "threshold": floor,
+            "baseline": baseline[name],
+            "baseline_label": previous.get("label"),
+            "value": value,
+            "passed": value >= floor,
+        }
+    for name in baseline:
+        # A gated metric that vanished from the current run must FAIL,
+        # not silently lose its gate — removing a bench case is a
+        # deliberate act that has to touch the series on purpose.
+        if name not in current:
+            gates[f"trend:{name}"] = {
+                "threshold": baseline[name] * MIN_RELATIVE_TREND,
+                "baseline": baseline[name],
+                "baseline_label": previous.get("label"),
+                "value": None,
+                "passed": False,
+            }
+    return gates
+
+
+def update_series(series: dict, summary: dict) -> dict:
+    """Replace-or-append the summary's entry in the series (label-keyed)."""
+    entries = [
+        entry
+        for entry in series["entries"]
+        if entry.get("label") != summary["label"]
+    ]
+    entries.append(summary)
+    return {"schema": SERIES_SCHEMA, "entries": entries}
+
+
 def evaluate_gates(results: dict) -> dict:
     """Gate name -> {threshold, value, passed} for every enforced gate."""
     gates = {}
@@ -135,9 +232,25 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_pr4.json",
+        default="BENCH_pr5.json",
         metavar="PATH",
-        help="where to write the JSON summary (default: ./BENCH_pr4.json)",
+        help="where to write the JSON summary (default: ./BENCH_pr5.json)",
+    )
+    parser.add_argument(
+        "--series",
+        default=None,
+        metavar="PATH",
+        help=(
+            "per-PR series file (e.g. BENCH_trajectory.json): the new "
+            "entry is diffed against the previous PR's (relative "
+            "regression gate) and appended; omit to skip the series"
+        ),
+    )
+    parser.add_argument(
+        "--label",
+        default="pr5",
+        metavar="NAME",
+        help="series label of this entry (default: pr5)",
     )
     args = parser.parse_args(argv)
 
@@ -149,23 +262,43 @@ def main(argv=None) -> int:
     gates = evaluate_gates(results)
     summary = {
         "schema": SCHEMA,
-        "label": "pr4",
+        "label": args.label,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
         "gates": gates,
         "passed": all(gate["passed"] for gate in gates.values()),
     }
+    if args.series is not None:
+        series = load_series(args.series)
+        trend = evaluate_trend_gates(summary, series)
+        gates.update(trend)
+        summary["gates"] = gates
+        summary["passed"] = all(gate["passed"] for gate in gates.values())
+        series = update_series(series, summary)
+        with open(args.series, "w", encoding="utf-8") as handle:
+            json.dump(series, handle, indent=2)
+            handle.write("\n")
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2)
         handle.write("\n")
 
     for name, gate in gates.items():
         status = "ok" if gate["passed"] else "FAIL"
-        print(
-            f"{status:4s} {name}: {gate['value']:.2f} "
-            f"(threshold {gate['threshold']})"
+        against = (
+            f"threshold {gate['threshold']:.2f}"
+            if isinstance(gate["threshold"], float)
+            else f"threshold {gate['threshold']}"
         )
+        if "baseline_label" in gate:
+            against += (
+                f" = {MIN_RELATIVE_TREND} x {gate['baseline']:.2f} "
+                f"@{gate['baseline_label']}"
+            )
+        shown = "missing" if gate["value"] is None else f"{gate['value']:.2f}"
+        print(f"{status:4s} {name}: {shown} ({against})")
+    if args.series is not None:
+        print(f"updated series {args.series}")
     print(f"wrote {args.out}")
     if not summary["passed"]:
         print("perf trajectory gates FAILED", file=sys.stderr)

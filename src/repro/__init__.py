@@ -14,6 +14,7 @@ Subpackages
 ``repro.linalg``      pluggable dense/sparse linear-algebra backends
 ``repro.spectral``    classical eigensolvers, embeddings, k-means
 ``repro.core``        the quantum pipeline (QPE filtering + q-means)
+``repro.pipeline``    staged pipeline core (checkpoints, resume, telemetry)
 ``repro.baselines``   symmetrized / random-walk / DiSim / naive baselines
 ``repro.metrics``     ARI, NMI, accuracy, cut imbalance, flow ratio
 ``repro.experiments`` one module per paper table/figure
@@ -60,11 +61,13 @@ from repro.metrics import (
     matched_accuracy,
     normalized_mutual_information,
 )
+from repro.pipeline import QSCPipeline
 
 __version__ = "1.0.0"
 
 __all__ = [
     "QSCConfig",
+    "QSCPipeline",
     "QSCResult",
     "QuantumSpectralClustering",
     "quantum_spectral_clustering",

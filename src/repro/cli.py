@@ -48,6 +48,7 @@ from repro.graphs import (
 from repro.graphs.generators import GENERATOR_VERSIONS
 from repro.linalg import BACKEND_NAMES
 from repro.metrics import partition_summary
+from repro.pipeline import QSCPipeline, STAGE_NAMES
 from repro.spectral import ClassicalSpectralClustering, lowest_eigenpairs
 
 BENCHES = {"c17": load_c17, "s27": load_s27}
@@ -112,6 +113,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--theta", type=float, default=float(np.pi / 2))
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-stage wall time, data source and spectral-cache "
+            "counters of the staged pipeline (quantum method only)"
+        ),
+    )
+    cluster.add_argument(
+        "--save-stages",
+        metavar="DIR",
+        default=None,
+        help=(
+            "checkpoint every pipeline stage into DIR (one <stage>.npz "
+            "per stage); also the directory --resume-from loads from"
+        ),
+    )
+    cluster.add_argument(
+        "--resume-from",
+        choices=STAGE_NAMES,
+        default=None,
+        metavar="STAGE",
+        help=(
+            "resume at STAGE: load every upstream stage from the "
+            "--save-stages directory instead of recomputing it, and "
+            f"re-run STAGE onward (stages: {', '.join(STAGE_NAMES)})"
+        ),
+    )
 
     generate = sub.add_parser("generate", help="generate a synthetic graph")
     generate.add_argument(
@@ -125,9 +154,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=GENERATOR_VERSIONS,
         default="v1",
         help=(
-            "seed contract of the SBM generators (--kind mixed/flow): v1 "
-            "is the byte-stable legacy pair loop, v2 the vectorized block "
-            "sampler (same distribution, much faster at 1k+ nodes)"
+            "seed contract of the SBM generators (--kind mixed/flow/"
+            "sparse): v1 is the byte-stable legacy sampler; for mixed/"
+            "flow v2 is the vectorized block sampler (same distribution, "
+            "much faster at 1k+ nodes), for sparse v2 is the draw-exact "
+            "block sampler (no duplicate-removal shortfall)"
         ),
     )
     generate.add_argument("--output", required=True)
@@ -210,6 +241,11 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_cluster(args) -> int:
     graph = graph_io.load(args.input)
     if args.method == "quantum":
+        if args.resume_from is not None and args.save_stages is None:
+            raise ReproError(
+                "--resume-from needs --save-stages DIR (the checkpoint "
+                "directory a previous run wrote)"
+            )
         config = QSCConfig(
             backend=args.qpe_backend,
             linalg_backend=args.backend,
@@ -220,13 +256,28 @@ def _cmd_cluster(args) -> int:
             theta=args.theta,
             seed=args.seed,
         )
-        result = QuantumSpectralClustering(args.clusters, config).fit(graph)
+        pipeline = QSCPipeline(args.clusters, config)
+        result = pipeline.run(
+            graph,
+            save_stages=args.save_stages,
+            resume_from=args.resume_from,
+        )
     else:
         if args.clusters == "auto":
             raise ReproError(
                 "--clusters auto requires --method quantum (histogram-"
                 "native selection)"
             )
+        for flag, name in (
+            (args.profile, "--profile"),
+            (args.save_stages, "--save-stages"),
+            (args.resume_from, "--resume-from"),
+        ):
+            if flag:
+                raise ReproError(
+                    f"{name} applies to the staged quantum pipeline "
+                    "(--method quantum)"
+                )
         result = ClassicalSpectralClustering(
             args.clusters, theta=args.theta, backend=args.backend, seed=args.seed
         ).fit(graph)
@@ -234,15 +285,23 @@ def _cmd_cluster(args) -> int:
     summary = partition_summary(graph, result.labels)
     for key, value in summary.items():
         print(f"{key}: {value:.4f}")
+    if args.method == "quantum" and args.profile:
+        print("stage profile:")
+        for row in result.profile:
+            print(
+                f"  {row['stage']:9s} {row['seconds']*1e3:9.2f} ms  "
+                f"{row['source']:10s} cache {row['cache_hits']}h/"
+                f"{row['cache_misses']}m"
+            )
     return 0
 
 
 def _cmd_generate(args) -> int:
-    if args.kind in ("random", "sparse") and args.generator_version != "v1":
-        # random has no versioned contract; sparse keeps its own O(edges)
-        # sampler — refuse rather than silently mislabel the provenance.
+    if args.kind == "random" and args.generator_version != "v1":
+        # random has no versioned contract — refuse rather than silently
+        # mislabel the provenance.
         raise ReproError(
-            f"--generator-version applies to --kind mixed/flow only "
+            f"--generator-version applies to --kind mixed/flow/sparse only "
             f"(got --kind {args.kind})"
         )
     if args.kind == "mixed":
@@ -260,7 +319,12 @@ def _cmd_generate(args) -> int:
             generator_version=args.generator_version,
         )
     elif args.kind == "sparse":
-        graph, labels = sparse_mixed_sbm(args.nodes, args.clusters, seed=args.seed)
+        graph, labels = sparse_mixed_sbm(
+            args.nodes,
+            args.clusters,
+            seed=args.seed,
+            generator_version=args.generator_version,
+        )
     else:
         graph = random_mixed_graph(args.nodes, seed=args.seed)
         labels = None

@@ -9,7 +9,12 @@ group masses yields estimated eigenvalue positions; the largest gap
 between consecutive estimates in the low spectrum selects k.
 
 This makes the *entire* pipeline — model selection included — run on
-measurement data alone (experiment A4).
+measurement data alone (experiment A4).  In the staged pipeline this is
+the auto-k branch of the ``threshold`` stage
+(:class:`repro.pipeline.stages.ThresholdStage`): when the requested
+cluster count is ``"auto"``, the stage feeds its sampled histogram through
+:func:`estimate_num_clusters_quantum` before selecting the projection
+threshold, and the chosen k travels with the stage's checkpoint.
 """
 
 from __future__ import annotations

@@ -17,24 +17,24 @@ Row i of Π_k = U_k U_k† is the isometric image of the classical spectral
 embedding row, so with exact arithmetic this reproduces classical Hermitian
 spectral clustering — the quantum noise sources (quantization, shots, δ)
 are exactly what the experiments sweep.
+
+Since the staged-pipeline refactor the chain itself lives in
+:mod:`repro.pipeline`: ``fit`` is a thin wrapper over
+:class:`repro.pipeline.QSCPipeline`, which runs the same code as five
+composable stages (``laplacian → threshold → readout → embedding →
+qmeans``) with per-stage telemetry and checkpoint/resume support — and is
+bit-identical to the historical monolithic ``fit`` at fixed seeds
+(golden-pinned in ``tests/pipeline/test_golden.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.autok import estimate_num_clusters_quantum
 from repro.core.config import QSCConfig
-from repro.core.projection import accepted_outcomes, select_threshold
-from repro.core.qmeans import qmeans
-from repro.core.qpe_engine import make_backend
-from repro.core.readout import batched_readout
 from repro.core.result import QSCResult
-from repro.exceptions import ClusteringError
-from repro.graphs.hermitian import hermitian_laplacian
 from repro.graphs.mixed_graph import MixedGraph
-from repro.spectral.embedding import complex_to_real_features, row_normalize
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.pipeline.pipeline import QSCPipeline
 
 
 class QuantumSpectralClustering:
@@ -59,117 +59,25 @@ class QuantumSpectralClustering:
     """
 
     def __init__(self, num_clusters, config: QSCConfig | None = None):
-        if num_clusters == "auto":
-            self.num_clusters = "auto"
-        else:
-            if int(num_clusters) < 1:
-                raise ClusteringError(
-                    f"num_clusters must be >= 1 or 'auto', got {num_clusters}"
-                )
-            self.num_clusters = int(num_clusters)
-        self.config = config or QSCConfig()
+        # QSCPipeline owns the argument validation; a fresh pipeline is
+        # built per fit so estimator instances stay stateless/reusable.
+        pipeline = QSCPipeline(num_clusters, config)
+        self.num_clusters = pipeline.num_clusters
+        self.config = pipeline.config
 
     def fit(self, graph: MixedGraph) -> QSCResult:
         """Run the full quantum pipeline on ``graph``.
 
         With ``num_clusters="auto"`` the cluster count is selected from the
         sampled QPE histogram by the quantum eigengap rule
-        (:func:`repro.core.autok.estimate_num_clusters_quantum`) before the
-        projection step — model selection stays end-to-end quantum.
+        (:func:`repro.core.autok.estimate_num_clusters_quantum`) inside the
+        threshold stage — model selection stays end-to-end quantum.
+
+        Delegates to :meth:`repro.pipeline.QSCPipeline.run`; use the
+        pipeline directly for stage checkpointing (``save_stages``),
+        resume (``resume_from``) or stage-state reuse.
         """
-        cfg = self.config
-        if self.num_clusters != "auto" and self.num_clusters > graph.num_nodes:
-            raise ClusteringError(
-                f"cannot form {self.num_clusters} clusters from "
-                f"{graph.num_nodes} nodes"
-            )
-        master = ensure_rng(cfg.seed)
-        rng_histogram, rng_rows, rng_qmeans = spawn_rngs(master, 3)
-        laplacian = hermitian_laplacian(
-            graph,
-            theta=cfg.theta,
-            normalization=cfg.normalization,
-            backend=cfg.linalg_backend,
-        )
-        backend = make_backend(laplacian, cfg)
-
-        histogram = backend.eigenvalue_histogram(cfg.histogram_shots, rng_histogram)
-        if self.num_clusters == "auto":
-            if graph.num_nodes < 4:
-                raise ClusteringError(
-                    "auto cluster selection needs at least four nodes"
-                )
-            num_clusters = estimate_num_clusters_quantum(
-                histogram,
-                graph.num_nodes,
-                cfg.precision_bits,
-                backend.lambda_scale,
-            ).num_clusters
-        else:
-            num_clusters = self.num_clusters
-        if cfg.eigenvalue_threshold is not None:
-            threshold = float(cfg.eigenvalue_threshold)
-            accepted = accepted_outcomes(
-                threshold, cfg.precision_bits, backend.lambda_scale
-            )
-        else:
-            selection = select_threshold(
-                histogram,
-                num_clusters,
-                graph.num_nodes,
-                cfg.precision_bits,
-                backend.lambda_scale,
-            )
-            threshold = selection.threshold
-            # Accept every readout below the threshold, not only the bins
-            # that happened to receive histogram counts — non-dyadic
-            # eigenphases spread QPE mass into neighbouring bins and those
-            # tails belong to the subspace too.
-            accepted = accepted_outcomes(
-                threshold, cfg.precision_bits, backend.lambda_scale
-            )
-        if accepted.size == 0:
-            raise ClusteringError(
-                "eigenvalue filter accepted no QPE readouts; increase "
-                "precision_bits or the threshold"
-            )
-
-        n = graph.num_nodes
-        # Batched readout pipeline: eigenvalue filter, tomography, amplitude
-        # estimation and phase anchoring for all rows at once, chunked to
-        # bound peak memory.  Per-row RNG streams are spawned from rng_rows
-        # inside, so results match a per-row loop over the scalar readout
-        # APIs bit for bit at the same seed.
-        readout = batched_readout(
-            backend,
-            accepted,
-            cfg.shots,
-            rng_rows,
-            chunk_size=cfg.readout_chunk_size,
-            draw_threads=cfg.draw_threads,
-        )
-        rows, norms = readout.rows, readout.norms
-
-        features = complex_to_real_features(rows[:, :n])
-        features = row_normalize(features)
-        km = qmeans(
-            features,
-            num_clusters,
-            delta=cfg.qmeans_delta,
-            max_iterations=cfg.qmeans_iterations,
-            num_restarts=cfg.kmeans_restarts,
-            seed=rng_qmeans,
-        )
-        return QSCResult(
-            labels=km.labels,
-            embedding=features,
-            row_norms=norms,
-            eigenvalue_histogram=histogram,
-            threshold=threshold,
-            accepted_bins=np.asarray(accepted, dtype=int),
-            qmeans=km,
-            backend_name=backend.name,
-        )
+        return QSCPipeline(self.num_clusters, self.config).run(graph)
 
 
 def quantum_spectral_clustering(

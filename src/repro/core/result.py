@@ -35,6 +35,12 @@ class QSCResult:
         Which QPE backend produced the rows.
     method:
         Method tag for experiment tables.
+    profile:
+        Per-stage telemetry of the staged pipeline run that produced this
+        result: one dict per stage (``stage``, ``seconds``, ``source``,
+        ``cache_hits``, ``cache_misses`` — see
+        :mod:`repro.pipeline.telemetry`).  Excluded from equality because
+        wall times differ between otherwise identical runs.
     """
 
     labels: np.ndarray
@@ -46,6 +52,7 @@ class QSCResult:
     qmeans: KMeansResult
     backend_name: str
     method: str = field(default="quantum-hermitian")
+    profile: tuple = field(default=(), compare=False, repr=False)
 
     @property
     def num_nodes(self) -> int:

@@ -21,22 +21,25 @@ filter to *separate* low from bulk, not to resolve eigenvalues finely (an
 explicit robustness finding recorded in EXPERIMENTS.md).  A circuit-backend
 cross-check runs at small n for gate-level confirmation.
 
-Each trial fits the pipeline and then builds a diagnostics backend on the
-same Laplacian — the second eigendecomposition and QPE kernel are served
-from the spectral cache (see ``docs/experiments.md``).
+Each trial fits the staged pipeline (:class:`repro.pipeline.QSCPipeline`)
+and runs the filter diagnostics directly on the fit's retained stage state
+— the same Laplacian-stage backend the fit used, so no second
+eigendecomposition, kernel build or even cache lookup happens (before the
+staged core the diagnostics refit against the spectral cache; reusing the
+checkpointed stage is free *and* exact by construction).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core import QSCConfig, QuantumSpectralClustering
+from repro.core import QSCConfig
 from repro.core.projection import accepted_outcomes
-from repro.core.qpe_engine import AnalyticQPEBackend
 from repro.experiments.common import TrialRecord, aggregate, render_markdown_table
 from repro.experiments.runner import SweepAxis, SweepRunner, SweepSpec
-from repro.graphs import ensure_connected, hermitian_laplacian, mixed_sbm
+from repro.graphs import ensure_connected, mixed_sbm
 from repro.metrics import adjusted_rand_index, matched_accuracy
+from repro.pipeline import QSCPipeline
 
 DEFAULT_PRECISIONS = (1, 2, 3, 4, 5, 6, 7, 8)
 DEFAULT_TRIALS = 5
@@ -47,11 +50,17 @@ SBM_P_INTRA = 0.4
 SBM_P_INTER = 0.05
 
 
-def _filter_diagnostics(graph, num_clusters, precision, threshold):
-    """(eig_rmse, bulk_leakage) of the eigenvalue filter at this precision."""
-    laplacian = hermitian_laplacian(graph)
-    backend = AnalyticQPEBackend(laplacian, precision)
-    accepted = accepted_outcomes(threshold, precision, backend.lambda_scale)
+def _filter_diagnostics(backend, num_clusters, threshold):
+    """(eig_rmse, bulk_leakage) of the eigenvalue filter of ``backend``.
+
+    ``backend`` is the fit's own analytic QPE backend, taken straight from
+    the pipeline's ``laplacian`` stage state — identical numbers to a
+    rebuilt diagnostics backend (the cache made them bit-equal before),
+    with zero spectral work.
+    """
+    accepted = accepted_outcomes(
+        threshold, backend.precision_bits, backend.lambda_scale
+    )
     acceptance = backend.component_acceptance(accepted)
     true_values = backend.eigenvalues
     # "low" = the k smallest true eigenvalues of the padded spectrum
@@ -97,9 +106,10 @@ def _trial(
         seed=seed,
         generator_version=generator_version,
     )
-    result = QuantumSpectralClustering(num_clusters, config).fit(graph)
+    pipeline = QSCPipeline(num_clusters, config)
+    result = pipeline.run(graph)
     rmse, leakage = _filter_diagnostics(
-        graph, num_clusters, precision, result.threshold
+        pipeline.state["backend"], num_clusters, result.threshold
     )
     records.append(
         TrialRecord(
@@ -129,11 +139,8 @@ def _trial(
             seed=seed,
             generator_version=generator_version,
         )
-        circuit_labels = (
-            QuantumSpectralClustering(num_clusters, circuit_config)
-            .fit(small_graph)
-            .labels
-        )
+        circuit_pipeline = QSCPipeline(num_clusters, circuit_config)
+        circuit_labels = circuit_pipeline.run(small_graph).labels
         records.append(
             TrialRecord(
                 experiment="F2",

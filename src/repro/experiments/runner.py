@@ -18,7 +18,11 @@ one declarative subsystem:
   into the result.
 * :func:`write_artifact` / :func:`validate_artifact` — every sweep can be
   serialized to one JSON artifact of schema :data:`ARTIFACT_SCHEMA`, which
-  the ``repro experiments`` CLI emits and CI validates.
+  the ``repro experiments`` CLI emits and CI validates.  Since the staged
+  pipeline core (:mod:`repro.pipeline`) the artifact carries an additive
+  ``profile`` field: per-stage wall seconds and computed/loaded execution
+  counts aggregated across every trial, bracketed per task exactly like
+  the spectral-cache counters.
 
 Determinism contract: a task's trial seed depends only on (point, trial,
 base_seed) via the spec's ``seed`` function, and its RNG stream only on
@@ -42,6 +46,12 @@ import numpy as np
 from repro.core.qpe_engine import spectral_cache_stats
 from repro.exceptions import ExperimentError
 from repro.experiments.common import TrialRecord
+from repro.pipeline.telemetry import (
+    TOTAL_KEYS as _PROFILE_KEYS,
+    merge_totals,
+    stage_totals,
+    totals_delta,
+)
 from repro.utils.rng import spawn_rngs
 
 #: Version tag of the JSON artifact layout written by :func:`write_artifact`.
@@ -162,7 +172,10 @@ class SweepResult:
     ``records`` is the flat list of :class:`TrialRecord` rows in task
     order — independent of ``jobs``, bit-identical between serial and
     parallel runs.  ``cache`` holds the spectral-cache hit/miss/eviction
-    deltas accumulated across all worker processes.
+    deltas accumulated across all worker processes; ``profile`` holds the
+    per-stage pipeline telemetry deltas (seconds, computed/loaded counts
+    per stage of :data:`repro.pipeline.STAGE_NAMES`) aggregated the same
+    way.
     """
 
     spec: SweepSpec
@@ -170,6 +183,7 @@ class SweepResult:
     jobs: int
     elapsed_seconds: float
     cache: dict
+    profile: dict = field(default_factory=dict)
 
     def rendered(self) -> str | None:
         """The spec's markdown rendering of the records (if it has one)."""
@@ -196,6 +210,14 @@ class SweepResult:
             "jobs": self.jobs,
             "elapsed_seconds": float(self.elapsed_seconds),
             "cache": {k: int(self.cache.get(k, 0)) for k in _CACHE_COUNTERS},
+            "profile": {
+                stage: {
+                    "seconds": float(entry.get("seconds", 0.0)),
+                    "computed": int(entry.get("computed", 0)),
+                    "loaded": int(entry.get("loaded", 0)),
+                }
+                for stage, entry in self.profile.items()
+            },
             "records": [_record_dict(record) for record in self.records],
             "table": self.rendered(),
         }
@@ -237,17 +259,20 @@ def _record_dict(record: TrialRecord) -> dict:
 
 
 def _execute_task(spec: SweepSpec, task: SweepTask, rng) -> tuple:
-    """Run one task; returns (index, records, cache-stats delta).
+    """Run one task; returns (index, records, cache delta, profile delta).
 
     Module-level so process-pool workers can unpickle it.  The spectral
-    cache delta is measured *inside* the executing process, bracketing the
-    trial call, so the accounting is exact regardless of multiprocessing
-    start method (fork workers inherit nonzero counters, spawn workers
-    start at zero — a delta is correct either way).
+    cache delta and the per-stage pipeline telemetry delta are measured
+    *inside* the executing process, bracketing the trial call, so the
+    accounting is exact regardless of multiprocessing start method (fork
+    workers inherit nonzero counters, spawn workers start at zero — a
+    delta is correct either way).
     """
     before = spectral_cache_stats()
+    stages_before = stage_totals()
     records = list(spec.trial(task.point, task.trial, task.seed, rng, **spec.fixed))
     after = spectral_cache_stats()
+    stages_after = stage_totals()
     for record in records:
         if not isinstance(record, TrialRecord):
             raise ExperimentError(
@@ -255,7 +280,7 @@ def _execute_task(spec: SweepSpec, task: SweepTask, rng) -> tuple:
                 "expected TrialRecord"
             )
     delta = {key: after.get(key, 0) - before.get(key, 0) for key in _CACHE_COUNTERS}
-    return task.index, records, delta
+    return task.index, records, delta, totals_delta(stages_before, stages_after)
 
 
 class SweepRunner:
@@ -305,10 +330,12 @@ class SweepRunner:
         elapsed = time.perf_counter() - start
         by_index: dict[int, list] = {}
         cache = {key: 0 for key in _CACHE_COUNTERS}
-        for index, records, delta in outcomes:
+        profile: dict = {}
+        for index, records, delta, stage_delta in outcomes:
             by_index[index] = records
             for key in _CACHE_COUNTERS:
                 cache[key] += delta[key]
+            merge_totals(profile, stage_delta)
         records = [record for index in sorted(by_index) for record in by_index[index]]
         return SweepResult(
             spec=self.spec,
@@ -316,6 +343,7 @@ class SweepRunner:
             jobs=self.jobs,
             elapsed_seconds=elapsed,
             cache=cache,
+            profile=profile,
         )
 
 
@@ -362,6 +390,23 @@ def validate_artifact(artifact: dict) -> dict:
     for counter in _CACHE_COUNTERS:
         if not isinstance(artifact["cache"].get(counter), int):
             raise ExperimentError(f"artifact cache counter {counter!r} missing")
+    profile = artifact.get("profile")
+    if profile is not None:
+        # Additive field (schema unchanged): per-stage pipeline telemetry.
+        # Older artifacts without it stay valid; when present the layout
+        # is checked so the CI profile upload cannot silently degrade.
+        if not isinstance(profile, dict):
+            raise ExperimentError("artifact profile must be an object")
+        for stage, entry in profile.items():
+            if not isinstance(entry, dict):
+                raise ExperimentError(f"profile stage {stage!r} is not an object")
+            for key in _PROFILE_KEYS:
+                value = entry.get(key)
+                kind = (int, float) if key == "seconds" else int
+                if not isinstance(value, kind):
+                    raise ExperimentError(
+                        f"profile stage {stage!r} field {key!r} missing or mistyped"
+                    )
     if not artifact["records"]:
         raise ExperimentError("artifact has no records")
     for position, record in enumerate(artifact["records"]):

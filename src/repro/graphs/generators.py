@@ -18,8 +18,10 @@ cluster assignment, and take explicit seeds.
 
 Generator versions
 ------------------
-:func:`mixed_sbm` and :func:`cyclic_flow_sbm` accept a
-``generator_version`` knob selecting one of two seed contracts:
+:func:`mixed_sbm`, :func:`cyclic_flow_sbm` and :func:`sparse_mixed_sbm`
+accept a ``generator_version`` knob selecting one of two seed contracts
+(for the sparse generator ``"v2"`` means *draw-exact* block edge counts —
+see its docstring):
 
 * ``"v1"`` (default) — the historical pure-Python per-pair loop.  At a
   fixed seed its output is byte-identical to every release since the seed
@@ -400,6 +402,28 @@ def _decode_triu_indices(
     return i, j
 
 
+def _distinct_pair_indices(rng, num_pairs: int, count: int) -> np.ndarray:
+    """Exactly ``count`` distinct pair indices in ``[0, num_pairs)``.
+
+    The draw-exact sampler behind ``sparse_mixed_sbm(..., "v2")``: draw
+    with replacement, deduplicate, and top up the shortfall until the set
+    is full.  At sparse densities the first draw already covers ~all of
+    ``count`` (expected shortfall O(count²/num_pairs)), so the loop runs
+    once or twice; termination is guaranteed because every round adds at
+    least the still-missing indices with positive probability and
+    ``count <= num_pairs``.
+    """
+    if count > num_pairs:
+        raise GraphError(
+            f"cannot draw {count} distinct pairs from {num_pairs}"
+        )
+    picks = np.unique(rng.integers(0, num_pairs, size=count))
+    while picks.size < count:
+        extra = rng.integers(0, num_pairs, size=count - picks.size)
+        picks = np.unique(np.concatenate([picks, extra]))
+    return picks
+
+
 def sparse_mixed_sbm(
     num_nodes: int,
     num_clusters: int = 2,
@@ -408,6 +432,7 @@ def sparse_mixed_sbm(
     intra_directed_fraction: float = 0.1,
     inter_directed_fraction: float = 0.9,
     seed=None,
+    generator_version: str = "v1",
 ) -> tuple[MixedGraph, np.ndarray]:
     """Mixed SBM sampled in O(edges) — the large-graph twin of :func:`mixed_sbm`.
 
@@ -415,10 +440,23 @@ def sparse_mixed_sbm(
     at a few hundred nodes.  This generator is parameterized by *expected
     degrees* instead of pair probabilities and samples each block's edge
     set directly: draw the edge count from the exact binomial, then draw
-    that many pair indices uniformly (duplicates removed — at sparse
-    densities the expected shortfall is O(edges²/pairs), i.e. well under
-    one edge per million pairs).  A 10k-node graph samples in milliseconds
-    and never touches an n × n structure.
+    that many pair indices uniformly.  A 10k-node graph samples in
+    milliseconds and never touches an n × n structure.
+
+    ``generator_version`` selects the seed contract, mirroring the dense
+    generators:
+
+    * ``"v1"`` (default) — the historical sampler: duplicates among the
+      uniform pair draws are simply removed, so a block can come up
+      slightly short of its binomial edge count (expected shortfall
+      O(edges²/pairs) — well under one edge per million pairs at sparse
+      densities).  Byte-identical to every release since the generator
+      landed (golden-pinned in ``tests/graphs/test_generator_versions.py``).
+    * ``"v2"`` — **draw-exact**: shortfalls are topped up until each block
+      holds exactly its binomially drawn number of distinct edges, so the
+      sampled edge count matches the model exactly at any density.  New
+      stream layout (the top-up consumes extra draws), same distribution
+      otherwise.
 
     Connection semantics mirror :func:`mixed_sbm`: intra-cluster
     connections become arcs with probability ``intra_directed_fraction``
@@ -439,6 +477,7 @@ def sparse_mixed_sbm(
             raise GraphError(f"{name} must be in [0, 1], got {p}")
     if avg_intra_degree < 0 or avg_inter_degree < 0:
         raise GraphError("expected degrees must be non-negative")
+    _check_generator_version(generator_version)
     rng = ensure_rng(seed)
     sizes = _cluster_sizes(num_nodes, num_clusters)
     labels = _labels_from_sizes(sizes)
@@ -463,7 +502,10 @@ def sparse_mixed_sbm(
             count = int(rng.binomial(num_pairs, p))
             if count == 0:
                 continue
-            picks = np.unique(rng.integers(0, num_pairs, size=count))
+            if generator_version == "v2":
+                picks = _distinct_pair_indices(rng, num_pairs, count)
+            else:
+                picks = np.unique(rng.integers(0, num_pairs, size=count))
             if a == b:
                 i, j = _decode_triu_indices(picks, sizes[a])
                 u = offsets[a] + i

@@ -1,0 +1,130 @@
+"""On-disk checkpoint format of the staged pipeline.
+
+One pipeline run with ``save_stages=DIR`` writes one ``<stage>.npz`` file
+per stage into ``DIR`` — a plain :func:`numpy.savez_compressed` archive of
+the stage's packed payload (see ``Stage.pack``/``Stage.unpack``) plus a
+``__checkpoint_version__`` tag.  A later run with ``resume_from=STAGE``
+loads the payloads of every stage *upstream* of ``STAGE`` instead of
+recomputing them, and re-runs ``STAGE`` and everything downstream.
+
+The format is deliberately dumb: arrays and scalars only, no pickling, so
+checkpoints are portable across processes, machines and library versions
+(a version bump is detected and rejected rather than misread).
+
+Every archive also records the **context fingerprint** of the run that
+wrote it — a digest of the input graph plus exactly the config fields and
+the requested cluster count that stage's output depends on (each stage
+declares them, cumulatively with its upstream).  Loading verifies the
+fingerprint against the resuming run, so stale state — a different graph,
+seed, precision, or ``--clusters`` — is a hard error instead of silently
+wrong labels.  Fields a stage's output provably does *not* depend on
+(e.g. ``shots`` for the threshold stage) stay outside its fingerprint, so
+the supported pattern of resuming the readout stage at a different shot
+budget keeps working.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+#: Version tag stored inside every stage checkpoint archive.
+CHECKPOINT_VERSION = 2
+
+_VERSION_KEY = "__checkpoint_version__"
+_CONTEXT_KEY = "__context_fingerprint__"
+
+
+def graph_fingerprint(graph) -> str:
+    """Content digest of a mixed graph (size + full connection list)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(graph.num_nodes).encode())
+    for edge in graph.edges():
+        digest.update(
+            f"{edge.u},{edge.v},{edge.weight},{edge.directed};".encode()
+        )
+    return digest.hexdigest()
+
+
+def context_fingerprint(graph, config, requested_clusters, fields) -> str:
+    """Digest of everything a stage's checkpointed output depends on.
+
+    ``fields`` is the stage's cumulative tuple of :class:`QSCConfig`
+    attribute names; the graph content is always included, and
+    ``requested_clusters`` (``int`` or ``"auto"``) participates unless the
+    caller passes ``None`` — the laplacian stage's output does not depend
+    on k, so changing ``--clusters`` legitimately reuses its checkpoint.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(graph_fingerprint(graph).encode())
+    if requested_clusters is not None:
+        digest.update(repr(requested_clusters).encode())
+    for name in fields:
+        digest.update(f"{name}={getattr(config, name)!r};".encode())
+    return digest.hexdigest()
+
+
+def stage_path(directory, stage_name: str) -> pathlib.Path:
+    """The archive path of one stage's checkpoint inside ``directory``."""
+    return pathlib.Path(directory) / f"{stage_name}.npz"
+
+
+def save_stage_payload(
+    directory, stage_name: str, payload: dict, fingerprint: str = ""
+) -> pathlib.Path:
+    """Write one stage's packed payload to ``<directory>/<stage>.npz``.
+
+    ``payload`` maps names to arrays or scalars (anything
+    :func:`numpy.asarray` accepts); the directory is created if needed.
+    ``fingerprint`` is the writing run's context digest for this stage
+    (see :func:`context_fingerprint`), verified again at load time.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = stage_path(directory, stage_name)
+    arrays = {key: np.asarray(value) for key, value in payload.items()}
+    arrays[_VERSION_KEY] = np.asarray(CHECKPOINT_VERSION)
+    arrays[_CONTEXT_KEY] = np.asarray(fingerprint)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_stage_payload(directory, stage_name: str, fingerprint: str = "") -> dict:
+    """Read one stage's payload back; raises on missing/incompatible files.
+
+    A non-empty ``fingerprint`` must match the one stored at save time —
+    a mismatch means the checkpoint was written for a different graph,
+    cluster count, or an upstream-relevant config field, and loading it
+    would silently corrupt the resumed run.
+    """
+    path = stage_path(directory, stage_name)
+    if not path.exists():
+        raise ClusteringError(
+            f"no checkpoint for stage {stage_name!r} in {path.parent} — "
+            f"run with save_stages first"
+        )
+    with np.load(path) as archive:
+        payload = {key: archive[key] for key in archive.files}
+    version = int(payload.pop(_VERSION_KEY, -1))
+    if version != CHECKPOINT_VERSION:
+        raise ClusteringError(
+            f"checkpoint {path} has version {version}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    stored = str(payload.pop(_CONTEXT_KEY, ""))
+    if fingerprint and stored != fingerprint:
+        raise ClusteringError(
+            f"checkpoint {path} was written for a different run context "
+            "(graph, cluster count, or an upstream config field changed); "
+            "re-run with save_stages to refresh it"
+        )
+    return payload
+
+
+def has_stage_checkpoint(directory, stage_name: str) -> bool:
+    """Whether ``directory`` holds a checkpoint for ``stage_name``."""
+    return stage_path(directory, stage_name).exists()

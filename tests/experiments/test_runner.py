@@ -146,9 +146,18 @@ class TestSweepRunner:
         spec = fig4_shots_sweep.spec(shot_budgets=(16,), num_nodes=16, trials=1)
         result = SweepRunner(spec).run()
         # noiseless fit misses (decomposition + kernel); the finite-shot
-        # fit on the same graph hits both.
-        assert result.cache["hits"] == 2
+        # fit resumes from the readout stage against the reference fit's
+        # in-memory state — no second backend construction, so the skip
+        # shows up in the per-stage profile rather than as cache hits.
+        assert result.cache["hits"] == 0
         assert result.cache["misses"] == 2
+        assert result.profile["laplacian"] == {
+            "seconds": result.profile["laplacian"]["seconds"],
+            "computed": 1,
+            "loaded": 1,
+        }
+        assert result.profile["readout"]["computed"] == 2
+        assert result.profile["qmeans"]["computed"] == 2
 
 
 class TestArtifacts:
@@ -162,6 +171,43 @@ class TestArtifacts:
         assert artifact["records"][0]["parameters"] == {"x": 1}
         assert artifact["spec"]["axes"] == {"x": [1, 2, 3]}
         assert json.loads(path.read_text()) == artifact
+
+    def test_profile_field_for_pipeline_trials(self, tmp_path):
+        """Trials that run the staged pipeline land per-stage telemetry in
+        the artifact's additive ``profile`` field."""
+        spec = fig4_shots_sweep.spec(shot_budgets=(16,), num_nodes=12, trials=1)
+        artifact = SweepRunner(spec).run().to_artifact()
+        validate_artifact(artifact)
+        profile = artifact["profile"]
+        from repro.pipeline import STAGE_NAMES
+
+        assert set(STAGE_NAMES) <= set(profile)
+        for entry in profile.values():
+            assert entry["seconds"] >= 0.0
+            assert entry["computed"] >= 1
+        # fig4 resumes the noisy fit from the noiseless fit's state
+        assert profile["laplacian"]["loaded"] == 1
+
+    def test_artifact_without_profile_stays_valid(self, tmp_path):
+        """The field is additive: pre-staged artifacts (no profile key)
+        must keep validating."""
+        artifact = SweepRunner(tiny_spec()).run().to_artifact()
+        artifact.pop("profile")
+        validate_artifact(artifact)
+
+    def test_mistyped_profile_rejected(self):
+        artifact = SweepRunner(tiny_spec()).run().to_artifact()
+        artifact["profile"] = {"laplacian": {"seconds": "fast"}}
+        with pytest.raises(ExperimentError, match="profile"):
+            validate_artifact(artifact)
+        artifact["profile"] = ["not", "a", "dict"]
+        with pytest.raises(ExperimentError, match="profile"):
+            validate_artifact(artifact)
+
+    def test_toy_sweep_profile_is_empty(self):
+        """Trials that never touch the staged pipeline contribute nothing."""
+        result = SweepRunner(tiny_spec()).run()
+        assert result.profile == {}
 
     def test_none_scores_serialize_as_null(self, tmp_path):
         def scoreless(point, trial, seed, rng):

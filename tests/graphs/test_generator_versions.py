@@ -236,3 +236,114 @@ class TestVersionPlumbing:
         for name, factory in registry().items():
             spec = factory(generator_version="v2")
             assert spec.fixed["generator_version"] == "v2", name
+
+
+class TestSparseMixedSBMVersions:
+    """``sparse_mixed_sbm``'s version contract: byte-stable v1, draw-exact v2."""
+
+    SPARSE_GOLDEN = {
+        (200, 2, 0): "8ea04a45bf229d9ea598515293eff556",
+        (300, 3, 9): "675be8413eafc975cd89a3a55eac6278",
+        (500, 4, 42): "2592c77c61d5b0a5771ced18e52adb83",
+    }
+
+    @pytest.mark.parametrize("case", sorted(SPARSE_GOLDEN))
+    def test_v1_golden(self, case):
+        from repro.graphs import sparse_mixed_sbm
+
+        n, k, seed = case
+        graph, _ = sparse_mixed_sbm(n, k, seed=seed)
+        assert graph_digest(graph) == self.SPARSE_GOLDEN[case]
+
+    def test_default_version_is_v1(self):
+        from repro.graphs import sparse_mixed_sbm
+
+        explicit, _ = sparse_mixed_sbm(200, 2, seed=1, generator_version="v1")
+        default, _ = sparse_mixed_sbm(200, 2, seed=1)
+        assert graph_digest(explicit) == graph_digest(default)
+
+    def test_v2_reproducible_and_labels_match(self):
+        from repro.graphs import sparse_mixed_sbm
+
+        first, labels_a = sparse_mixed_sbm(250, 3, seed=6, generator_version="v2")
+        second, labels_b = sparse_mixed_sbm(250, 3, seed=6, generator_version="v2")
+        assert graph_digest(first) == graph_digest(second)
+        assert np.array_equal(labels_a, labels_b)
+
+    def test_unknown_version_rejected(self):
+        from repro.graphs import sparse_mixed_sbm
+
+        with pytest.raises(GraphError):
+            sparse_mixed_sbm(50, 2, generator_version="v3")
+
+    def test_v2_is_draw_exact(self):
+        """v2 block edge counts equal the binomial draws exactly.
+
+        Replaying the v2 generator's RNG stream reproduces each block's
+        binomial edge-count draw; the graph must contain exactly the total
+        — no duplicate-removal shortfall.  Dense-ish settings make
+        duplicate collisions (and hence a v1 shortfall) near-certain.
+        """
+        from repro.graphs import sparse_mixed_sbm
+        from repro.graphs.generators import _cluster_sizes
+
+        n, k, seed = 60, 2, 3
+        kwargs = dict(avg_intra_degree=25.0, avg_inter_degree=12.0)
+        graph, _ = sparse_mixed_sbm(n, k, seed=seed, generator_version="v2", **kwargs)
+
+        sizes = _cluster_sizes(n, k)
+        mean_size = n / k
+        p_intra = min(1.0, kwargs["avg_intra_degree"] / max(mean_size - 1.0, 1.0))
+        p_inter = min(1.0, kwargs["avg_inter_degree"] / max(n - mean_size, 1.0))
+        replay = np.random.default_rng(seed)
+        expected_total = 0
+        for a in range(k):
+            for b in range(a, k):
+                if a == b:
+                    num_pairs = sizes[a] * (sizes[a] - 1) // 2
+                    p = p_intra
+                else:
+                    num_pairs = sizes[a] * sizes[b]
+                    p = p_inter
+                count = int(replay.binomial(num_pairs, p))
+                expected_total += count
+                # burn the remaining draws of this block exactly as the
+                # generator consumes them: top-up index draws, then the
+                # directed and orientation arrays
+                picks = np.unique(replay.integers(0, num_pairs, size=count))
+                while picks.size < count:
+                    extra = replay.integers(0, num_pairs, size=count - picks.size)
+                    picks = np.unique(np.concatenate([picks, extra]))
+                directed = replay.random(picks.size) < (0.1 if a == b else 0.9)
+                if a == b:
+                    replay.random(picks.size)  # orientation flips
+        assert graph.num_edges + graph.num_arcs == expected_total
+
+    def test_v1_undersamples_where_v2_is_exact(self):
+        """At dense settings v1's duplicate removal loses edges; v2 never."""
+        from repro.graphs import sparse_mixed_sbm
+
+        totals = {version: 0 for version in GENERATOR_VERSIONS}
+        for seed in range(6):
+            for version in GENERATOR_VERSIONS:
+                graph, _ = sparse_mixed_sbm(
+                    60,
+                    2,
+                    avg_intra_degree=25.0,
+                    avg_inter_degree=12.0,
+                    seed=seed,
+                    generator_version=version,
+                )
+                totals[version] += graph.num_edges + graph.num_arcs
+        assert totals["v2"] > totals["v1"]
+
+    def test_distinct_pair_indices_exact_and_bounded(self):
+        from repro.graphs.generators import _distinct_pair_indices
+
+        rng = np.random.default_rng(0)
+        picks = _distinct_pair_indices(rng, 100, 90)
+        assert picks.size == 90
+        assert np.unique(picks).size == 90
+        assert picks.min() >= 0 and picks.max() < 100
+        with pytest.raises(GraphError):
+            _distinct_pair_indices(rng, 10, 11)

@@ -1,0 +1,305 @@
+"""Staged-pipeline behaviour: contracts, checkpoints, resume, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro import QSCConfig, QSCPipeline
+from repro.exceptions import ClusteringError
+from repro.graphs import ensure_connected, mixed_sbm
+from repro.pipeline import (
+    STAGE_NAMES,
+    StageContext,
+    build_stages,
+    has_stage_checkpoint,
+    load_stage_payload,
+    reset_stage_totals,
+    save_stage_payload,
+    stage_totals,
+)
+from repro.pipeline.checkpoint import CHECKPOINT_VERSION, stage_path
+
+
+@pytest.fixture
+def graph():
+    graph, _ = mixed_sbm(30, 2, p_intra=0.5, p_inter=0.05, seed=11)
+    ensure_connected(graph, seed=11)
+    return graph
+
+
+CONFIG = QSCConfig(precision_bits=6, shots=256, seed=5)
+
+
+def results_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.labels, b.labels)
+        and np.array_equal(a.embedding, b.embedding)
+        and np.array_equal(a.row_norms, b.row_norms)
+        and np.array_equal(a.eigenvalue_histogram, b.eigenvalue_histogram)
+        and a.threshold == b.threshold
+        and np.array_equal(a.accepted_bins, b.accepted_bins)
+    )
+
+
+class TestStageContract:
+    def test_stage_order_and_names(self):
+        assert STAGE_NAMES == (
+            "laplacian",
+            "threshold",
+            "readout",
+            "embedding",
+            "qmeans",
+        )
+
+    def test_declared_io_chains(self):
+        """Every stage's requirements are provided by an earlier stage."""
+        available: set = set()
+        for stage in build_stages():
+            missing = set(stage.requires) - available
+            assert not missing, f"{stage.name} requires unprovided {missing}"
+            available |= set(stage.provides)
+
+    def test_execute_validates_missing_requirement(self, graph):
+        stage = build_stages()[2]  # readout requires backend + accepted
+        ctx = StageContext(
+            graph=graph, config=CONFIG, requested_clusters=2, rngs={}
+        )
+        with pytest.raises(ClusteringError, match="upstream stage missing"):
+            stage.execute(ctx)
+
+    def test_pack_unpack_roundtrip_every_stage(self, graph, tmp_path):
+        pipeline = QSCPipeline(2, CONFIG)
+        pipeline.run(graph)
+        ctx = StageContext(
+            graph=graph, config=CONFIG, requested_clusters=2, rngs={}
+        )
+        for stage in build_stages():
+            values = {key: pipeline.state[key] for key in stage.provides}
+            save_stage_payload(tmp_path, stage.name, stage.pack(values))
+            restored = stage.unpack(load_stage_payload(tmp_path, stage.name), ctx)
+            for key in stage.provides:
+                if key == "backend":
+                    assert restored[key].name == values[key].name
+                    assert restored[key].dim == values[key].dim
+                elif key == "qmeans":
+                    assert np.array_equal(restored[key].labels, values[key].labels)
+                    assert restored[key].inertia == values[key].inertia
+                else:
+                    assert np.array_equal(
+                        np.asarray(restored[key]), np.asarray(values[key])
+                    ), key
+
+
+class TestCheckpointFormat:
+    def test_files_written_per_stage(self, graph, tmp_path):
+        QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        for name in STAGE_NAMES:
+            assert has_stage_checkpoint(tmp_path, name)
+            assert stage_path(tmp_path, name).suffix == ".npz"
+
+    def test_missing_checkpoint_errors(self, tmp_path):
+        with pytest.raises(ClusteringError, match="no checkpoint"):
+            load_stage_payload(tmp_path, "readout")
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        np.savez_compressed(
+            stage_path(tmp_path, "embedding"),
+            features=np.zeros((2, 2)),
+            __checkpoint_version__=np.asarray(CHECKPOINT_VERSION + 1),
+        )
+        with pytest.raises(ClusteringError, match="version"):
+            load_stage_payload(tmp_path, "embedding")
+
+
+class TestResume:
+    @pytest.mark.parametrize("stage", STAGE_NAMES[1:])
+    def test_disk_resume_is_bit_identical(self, graph, tmp_path, stage):
+        full = QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        resumed_pipeline = QSCPipeline(2, CONFIG)
+        resumed = resumed_pipeline.run(
+            graph, resume_from=stage, stages_dir=tmp_path
+        )
+        assert results_equal(full, resumed)
+        index = STAGE_NAMES.index(stage)
+        sources = [row["source"] for row in resumed.profile]
+        assert sources[:index] == ["checkpoint"] * index
+        assert sources[index:] == ["computed"] * (len(STAGE_NAMES) - index)
+
+    def test_resume_from_readout_skips_upstream_counters(self, graph, tmp_path):
+        """The acceptance-criteria pin: checkpoint-load counters prove the
+        upstream stages did not execute."""
+        reset_stage_totals()
+        QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        after_full = stage_totals()
+        assert after_full["laplacian"] == {
+            "seconds": after_full["laplacian"]["seconds"],
+            "computed": 1,
+            "loaded": 0,
+        }
+        QSCPipeline(2, CONFIG).run(graph, resume_from="readout", stages_dir=tmp_path)
+        totals = stage_totals()
+        for skipped in ("laplacian", "threshold"):
+            assert totals[skipped]["computed"] == 1  # only the full run
+            assert totals[skipped]["loaded"] == 1  # the resumed run loaded
+        for executed in ("readout", "embedding", "qmeans"):
+            assert totals[executed]["computed"] == 2
+            assert totals[executed]["loaded"] == 0
+
+    def test_in_memory_upstream_resume(self, graph):
+        reference = QSCPipeline(2, CONFIG)
+        reference.run(graph)
+        noisy_config = CONFIG.with_updates(shots=64)
+        resumed = QSCPipeline(2, noisy_config).run(
+            graph, resume_from="readout", upstream=reference.state
+        )
+        full = QSCPipeline(2, noisy_config).run(graph)
+        assert results_equal(full, resumed)
+        sources = {row["stage"]: row["source"] for row in resumed.profile}
+        assert sources["laplacian"] == "reused"
+        assert sources["threshold"] == "reused"
+        assert sources["readout"] == "computed"
+
+    def test_resume_without_source_errors(self, graph):
+        with pytest.raises(ClusteringError, match="needs checkpoints"):
+            QSCPipeline(2, CONFIG).run(graph, resume_from="readout")
+
+    def test_unknown_stage_errors(self, graph, tmp_path):
+        with pytest.raises(ClusteringError, match="unknown stage"):
+            QSCPipeline(2, CONFIG).run(
+                graph, resume_from="tomography", stages_dir=tmp_path
+            )
+
+    def test_sparse_linalg_checkpoint_roundtrip(self, tmp_path):
+        graph, _ = mixed_sbm(40, 2, p_intra=0.5, p_inter=0.05, seed=1)
+        ensure_connected(graph, seed=1)
+        config = CONFIG.with_updates(linalg_backend="sparse")
+        pytest.importorskip("scipy")
+        full = QSCPipeline(2, config).run(graph, save_stages=tmp_path)
+        resumed = QSCPipeline(2, config).run(
+            graph, resume_from="threshold", stages_dir=tmp_path
+        )
+        assert results_equal(full, resumed)
+
+    def test_circuit_backend_resume(self, tmp_path):
+        graph, _ = mixed_sbm(10, 2, p_intra=0.8, p_inter=0.05, seed=4)
+        ensure_connected(graph, seed=4)
+        config = QSCConfig(backend="circuit", precision_bits=4, shots=128, seed=9)
+        full = QSCPipeline(2, config).run(graph, save_stages=tmp_path)
+        resumed = QSCPipeline(2, config).run(
+            graph, resume_from="readout", stages_dir=tmp_path
+        )
+        assert results_equal(full, resumed)
+
+    def test_resume_with_different_cluster_count_rejected(self, graph, tmp_path):
+        QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        with pytest.raises(ClusteringError, match="different run context"):
+            QSCPipeline(3, CONFIG).run(
+                graph, resume_from="readout", stages_dir=tmp_path
+            )
+
+    def test_resume_with_different_graph_rejected(self, graph, tmp_path):
+        QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        other, _ = mixed_sbm(30, 2, p_intra=0.5, p_inter=0.05, seed=99)
+        ensure_connected(other, seed=99)
+        with pytest.raises(ClusteringError, match="different run context"):
+            QSCPipeline(2, CONFIG).run(
+                other, resume_from="readout", stages_dir=tmp_path
+            )
+
+    def test_resume_with_upstream_config_drift_rejected(self, graph, tmp_path):
+        QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        for drift in (
+            CONFIG.with_updates(seed=123),
+            CONFIG.with_updates(precision_bits=4),
+            CONFIG.with_updates(theta=0.5),
+        ):
+            with pytest.raises(ClusteringError, match="different run context"):
+                QSCPipeline(2, drift).run(
+                    graph, resume_from="readout", stages_dir=tmp_path
+                )
+
+    def test_resume_with_downstream_only_drift_allowed(self, graph, tmp_path):
+        """Fields the loaded stages provably ignore may differ: resuming
+        the readout stage at a new shot budget is the supported pattern."""
+        QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        changed = CONFIG.with_updates(shots=64, readout_chunk_size=5)
+        resumed = QSCPipeline(2, changed).run(
+            graph, resume_from="readout", stages_dir=tmp_path
+        )
+        full = QSCPipeline(2, changed).run(graph)
+        assert results_equal(full, resumed)
+
+    def test_cluster_count_change_reuses_laplacian_checkpoint(
+        self, graph, tmp_path
+    ):
+        """k first matters at the threshold stage, so resuming *there*
+        with a different k legitimately reuses the laplacian checkpoint."""
+        QSCPipeline(2, CONFIG).run(graph, save_stages=tmp_path)
+        resumed = QSCPipeline(3, CONFIG).run(
+            graph, resume_from="threshold", stages_dir=tmp_path
+        )
+        full = QSCPipeline(3, CONFIG).run(graph)
+        assert results_equal(full, resumed)
+        assert len(np.unique(resumed.labels)) == 3
+
+    def test_auto_k_flows_through_staged_resume(self, tmp_path):
+        """k='auto' resolves in the threshold stage and survives resume via
+        the stage checkpoint."""
+        graph, _ = mixed_sbm(36, 3, p_intra=0.7, p_inter=0.02, seed=3)
+        ensure_connected(graph, seed=3)
+        config = QSCConfig(
+            precision_bits=7, shots=256, histogram_shots=16384, seed=3
+        )
+        full = QSCPipeline("auto", config).run(graph, save_stages=tmp_path)
+        assert len(np.unique(full.labels)) == 3
+        resumed_pipeline = QSCPipeline("auto", config)
+        resumed = resumed_pipeline.run(
+            graph, resume_from="readout", stages_dir=tmp_path
+        )
+        assert results_equal(full, resumed)
+        assert resumed_pipeline.state["num_clusters"] == 3
+
+
+class TestTelemetry:
+    def test_result_profile_shape(self, graph):
+        result = QSCPipeline(2, CONFIG).run(graph)
+        assert [row["stage"] for row in result.profile] == list(STAGE_NAMES)
+        for row in result.profile:
+            assert row["seconds"] >= 0.0
+            assert row["source"] == "computed"
+            assert isinstance(row["cache_hits"], int)
+            assert isinstance(row["cache_misses"], int)
+
+    def test_laplacian_stage_owns_the_spectral_work(self, graph):
+        from repro.core.qpe_engine import clear_spectral_cache
+
+        clear_spectral_cache()
+        result = QSCPipeline(2, CONFIG).run(graph)
+        by_stage = {row["stage"]: row for row in result.profile}
+        assert by_stage["laplacian"]["cache_misses"] == 2
+        assert sum(
+            row["cache_misses"]
+            for name, row in by_stage.items()
+            if name != "laplacian"
+        ) == 0
+
+    def test_profile_excluded_from_result_equality(self):
+        import dataclasses
+
+        from repro.core.result import QSCResult
+
+        profile_field = next(
+            f for f in dataclasses.fields(QSCResult) if f.name == "profile"
+        )
+        # wall times differ between otherwise identical runs, so the
+        # profile must never participate in dataclass equality
+        assert profile_field.compare is False
+
+
+class TestValidation:
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ClusteringError):
+            QSCPipeline(0)
+
+    def test_too_many_clusters(self, graph):
+        with pytest.raises(ClusteringError):
+            QSCPipeline(31, CONFIG).run(graph)

@@ -91,6 +91,50 @@ class TestClusterCommand:
         threaded = capsys.readouterr().out
         assert threaded.splitlines()[0] == serial.splitlines()[0]
 
+    def test_profile_prints_stage_table(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            ["cluster", "--input", path, "--clusters", "2", "--shots", "64",
+             "--seed", "1", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stage profile:" in out
+        for stage in ("laplacian", "threshold", "readout", "embedding", "qmeans"):
+            assert stage in out
+
+    def test_save_stages_and_resume_match(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        stages = str(tmp_path / "stages")
+        base = ["cluster", "--input", path, "--clusters", "2", "--shots",
+                "128", "--seed", "2", "--save-stages", stages]
+        assert main(base) == 0
+        full_out = capsys.readouterr().out
+        assert (tmp_path / "stages" / "readout.npz").exists()
+        assert main(base + ["--resume-from", "readout", "--profile"]) == 0
+        resumed_out = capsys.readouterr().out
+        # identical labels/summary, and the upstream stages report as loaded
+        assert resumed_out.startswith(full_out.split("stage profile:")[0])
+        assert "checkpoint" in resumed_out
+
+    def test_resume_without_save_stages_errors(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            ["cluster", "--input", path, "--clusters", "2",
+             "--resume-from", "readout"]
+        )
+        assert code == 1
+        assert "--save-stages" in capsys.readouterr().err
+
+    def test_stage_flags_rejected_for_classical(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            ["cluster", "--input", path, "--clusters", "2", "--method",
+             "classical", "--profile"]
+        )
+        assert code == 1
+        assert "--profile" in capsys.readouterr().err
+
     def test_classical_cluster(self, graph_file, capsys):
         path, _ = graph_file
         code = main(
@@ -214,7 +258,8 @@ class TestGenerateCommand:
         total_v2 = v2_graph.num_edges + v2_graph.num_arcs
         assert abs(total_v1 - total_v2) <= max(0.35 * total_v1, 10)
 
-    def test_generate_rejects_version_for_sparse_kind(self, tmp_path, capsys):
+    def test_generate_sparse_v2_version(self, tmp_path, capsys):
+        out = tmp_path / "s.mixed"
         code = main(
             [
                 "generate",
@@ -222,12 +267,30 @@ class TestGenerateCommand:
                 "sparse",
                 "--generator-version",
                 "v2",
+                "--nodes",
+                "200",
                 "--output",
-                str(tmp_path / "s.mixed"),
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_rejects_version_for_random_kind(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "random",
+                "--generator-version",
+                "v2",
+                "--output",
+                str(tmp_path / "r.mixed"),
             ]
         )
         assert code == 1
-        assert "mixed/flow" in capsys.readouterr().err
+        assert "mixed/flow/sparse" in capsys.readouterr().err
 
     def test_generate_rejects_unknown_version(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
