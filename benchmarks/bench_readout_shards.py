@@ -1,0 +1,90 @@
+"""Benchmark — sharded readout (worker processes) vs the batched stage.
+
+The readout stage is embarrassingly parallel across rows, so splitting it
+into supervised row shards (``repro.pipeline.sharding``) buys wall-clock
+on multi-core hosts while the deterministic RNG layout keeps the merged
+output bit-identical at any shard count.  This module records the
+shard-count scaling curve and enforces two contracts:
+
+* **bit identity** (every host): the merged sharded result equals the
+  single-process ``batched_readout`` exactly, for every measured count;
+* **wall clock** (multi-core hosts only): ``READOUT_SHARD_COUNT`` shards
+  must beat the unsharded stage by ``MIN_READOUT_SHARD_SPEEDUP``.  A
+  1-CPU container cannot beat a serial stage with parallelism plus
+  process overhead, so there the number is printed as data — the same
+  policy the warm-sweep speedup follows (``benchmarks/trajectory.py``
+  applies the identical rule in CI).
+"""
+
+import time
+
+import numpy as np
+import pytest
+from perf_gates import (
+    MIN_READOUT_SHARD_SPEEDUP,
+    READOUT_SHARD_COUNT,
+    SHARD_SEED,
+    SHARD_SHOTS,
+    readout_shard_case,
+    shard_gate_enforced,
+    usable_cores,
+)
+
+from repro.core.readout import batched_readout
+from repro.pipeline.sharding import sharded_readout
+from repro.utils.rng import ensure_rng
+
+SHARD_COUNTS = (1, 2, READOUT_SHARD_COUNT)
+
+
+@pytest.mark.benchmark(group="readout-shards")
+def test_bench_readout_shard_scaling(benchmark):
+    """Scaling curve over shard counts; gated at READOUT_SHARD_COUNT."""
+    backend, accepted = readout_shard_case()
+
+    start = time.perf_counter()
+    reference = batched_readout(
+        backend, accepted, SHARD_SHOTS, ensure_rng(SHARD_SEED)
+    )
+    unsharded_seconds = time.perf_counter() - start
+
+    def run_sharded(count):
+        return sharded_readout(
+            backend,
+            accepted,
+            SHARD_SHOTS,
+            ensure_rng(SHARD_SEED),
+            shard_count=count,
+        )
+
+    curve = {}
+    for count in SHARD_COUNTS:
+        if count == READOUT_SHARD_COUNT:
+            sharded = benchmark.pedantic(
+                lambda: run_sharded(count), rounds=3, iterations=1
+            )
+            seconds = benchmark.stats.stats.min
+        else:
+            start = time.perf_counter()
+            sharded = run_sharded(count)
+            seconds = time.perf_counter() - start
+        curve[count] = seconds
+        # Bit identity gates on every host, at every count.
+        np.testing.assert_array_equal(sharded.result.rows, reference.rows)
+        np.testing.assert_array_equal(sharded.result.norms, reference.norms)
+        assert sharded.incomplete_shards == ()
+
+    speedup = unsharded_seconds / curve[READOUT_SHARD_COUNT]
+    points = ", ".join(
+        f"{count} shards {seconds:.3f}s" for count, seconds in curve.items()
+    )
+    print(
+        f"\nsharded readout ({usable_cores()} cores): unsharded "
+        f"{unsharded_seconds:.3f}s, {points}, speedup {speedup:.2f}x "
+        f"at {READOUT_SHARD_COUNT} shards"
+    )
+    if shard_gate_enforced():
+        assert speedup >= MIN_READOUT_SHARD_SPEEDUP, (
+            f"sharded readout regressed: {speedup:.2f}x at "
+            f"{READOUT_SHARD_COUNT} shards"
+        )

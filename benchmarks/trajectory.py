@@ -25,7 +25,7 @@ because its two sides come from different CI runs.
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/trajectory.py \
-        --out BENCH_pr5.json --series BENCH_trajectory.json --label pr5
+        --out BENCH_pr6.json --series BENCH_trajectory.json --label pr6
 
 Exit status is non-zero if any gate fails; the JSON (and the updated
 series) is written either way so the failing numbers are inspectable.
@@ -48,12 +48,19 @@ from perf_gates import (
     KERNEL_PRECISION,
     MIN_GENERATOR_SPEEDUP,
     MIN_KERNEL_SPEEDUP,
+    MIN_READOUT_SHARD_SPEEDUP,
     MIN_RELATIVE_TREND,
+    READOUT_SHARD_COUNT,
+    SHARD_SEED,
+    SHARD_SHOTS,
     batch_kernel_build,
     best_seconds,
     generator_cases,
     kernel_phases,
     loop_kernel_build,
+    readout_shard_case,
+    shard_gate_enforced,
+    usable_cores,
 )
 
 SCHEMA = "repro.bench/1"
@@ -119,6 +126,64 @@ def measure_sweep_cache() -> dict:
     }
 
 
+def measure_readout_shards() -> dict:
+    """Shard-count scaling curve of the sharded readout stage.
+
+    Bit identity of the merged shards against the single-process stage is
+    verified for every measured count (an ``AssertionError`` here fails
+    the whole run — determinism has no hardware excuse).  The wall-clock
+    speedup at ``READOUT_SHARD_COUNT`` shards is *gated* only on
+    multi-core hosts; single-core containers record it as data.
+    """
+    from repro.core.readout import batched_readout
+    from repro.pipeline.sharding import sharded_readout
+    from repro.utils.rng import ensure_rng
+
+    backend, accepted = readout_shard_case()
+    unsharded_holder = {}
+
+    def run_unsharded():
+        unsharded_holder["result"] = batched_readout(
+            backend, accepted, SHARD_SHOTS, ensure_rng(SHARD_SEED)
+        )
+
+    unsharded = best_seconds(run_unsharded, repeats=2)
+    reference = unsharded_holder["result"]
+    curve = {}
+    for count in (2, READOUT_SHARD_COUNT):
+        sharded_holder = {}
+
+        def run_sharded(count=count):
+            sharded_holder["result"] = sharded_readout(
+                backend,
+                accepted,
+                SHARD_SHOTS,
+                ensure_rng(SHARD_SEED),
+                shard_count=count,
+            )
+
+        curve[str(count)] = best_seconds(run_sharded, repeats=2)
+        sharded = sharded_holder["result"]
+        if (
+            not np.array_equal(sharded.result.rows, reference.rows)
+            or not np.array_equal(sharded.result.norms, reference.norms)
+            or sharded.incomplete_shards
+        ):
+            raise AssertionError(
+                f"sharded readout at {count} shards differs from the "
+                "unsharded stage"
+            )
+    return {
+        "num_nodes": int(backend.num_nodes),
+        "shots": SHARD_SHOTS,
+        "cores": usable_cores(),
+        "unsharded_seconds": unsharded,
+        "sharded_seconds": curve,
+        "speedup": unsharded / curve[str(READOUT_SHARD_COUNT)],
+        "gate_enforced": shard_gate_enforced(),
+    }
+
+
 def trend_metrics(results: dict) -> dict:
     """The speedup metrics compared across PR entries by the trend gate.
 
@@ -131,6 +196,11 @@ def trend_metrics(results: dict) -> dict:
         for name, row in results["generators"].items()
     }
     metrics["kernel"] = results["kernel"]["speedup"]
+    shards = results.get("readout_shards")
+    if shards is not None and shards["gate_enforced"]:
+        # Parallel speedup only trends where it is gated (multi-core
+        # hosts); a single-core container's ~1x would poison the baseline.
+        metrics["readout_shards"] = shards["speedup"]
     return metrics
 
 
@@ -225,6 +295,13 @@ def evaluate_gates(results: dict) -> dict:
         "value": warm_cache["misses"],
         "passed": warm_cache["misses"] == 0 and warm_cache["hits"] > 0,
     }
+    shards = results["readout_shards"]
+    if shards["gate_enforced"]:
+        gates[f"readout_shard_speedup@{READOUT_SHARD_COUNT}"] = {
+            "threshold": MIN_READOUT_SHARD_SPEEDUP,
+            "value": shards["speedup"],
+            "passed": shards["speedup"] >= MIN_READOUT_SHARD_SPEEDUP,
+        }
     return gates
 
 
@@ -232,9 +309,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_pr5.json",
+        default="BENCH_pr6.json",
         metavar="PATH",
-        help="where to write the JSON summary (default: ./BENCH_pr5.json)",
+        help="where to write the JSON summary (default: ./BENCH_pr6.json)",
     )
     parser.add_argument(
         "--series",
@@ -248,9 +325,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--label",
-        default="pr5",
+        default="pr6",
         metavar="NAME",
-        help="series label of this entry (default: pr5)",
+        help="series label of this entry (default: pr6)",
     )
     args = parser.parse_args(argv)
 
@@ -258,6 +335,7 @@ def main(argv=None) -> int:
         "generators": measure_generators(),
         "kernel": measure_kernel(),
         "sweep_cache": measure_sweep_cache(),
+        "readout_shards": measure_readout_shards(),
     }
     gates = evaluate_gates(results)
     summary = {

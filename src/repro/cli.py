@@ -102,6 +102,39 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     cluster.add_argument(
+        "--readout-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "split the readout stage into N supervised row shards run in "
+            "worker processes (results are bit-identical at any count; "
+            "with --save-stages each shard checkpoints separately, so a "
+            "crashed run resumes recomputing only the missing shards; "
+            "default: unsharded)"
+        ),
+    )
+    cluster.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-attempt deadline for one readout shard; a worker past it "
+            "is killed and the shard retried (default: no deadline)"
+        ),
+    )
+    cluster.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "extra attempts a failed or hung readout shard gets before "
+            "the run aborts (default: 2)"
+        ),
+    )
+    cluster.add_argument(
         "--draw-threads",
         type=int,
         default=None,
@@ -230,6 +263,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     experiments.add_argument(
+        "--readout-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run every quantum fit's readout stage as N supervised row "
+            "shards (recorded in the artifacts; results are bit-identical "
+            "to unsharded; default: unsharded)"
+        ),
+    )
+    experiments.add_argument(
         "--out",
         default="artifacts",
         metavar="DIR",
@@ -252,6 +296,9 @@ def _cmd_cluster(args) -> int:
             precision_bits=args.precision_bits,
             shots=args.shots,
             readout_chunk_size=args.readout_chunk_size,
+            readout_shards=args.readout_shards,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries,
             draw_threads=args.draw_threads,
             theta=args.theta,
             seed=args.seed,
@@ -293,6 +340,18 @@ def _cmd_cluster(args) -> int:
                 f"{row['source']:10s} cache {row['cache_hits']}h/"
                 f"{row['cache_misses']}m"
             )
+            for shard in row.get("shards", ()):
+                print(
+                    f"    shard {shard['shard']} rows "
+                    f"{shard['start']}:{shard['stop']} "
+                    f"{shard['seconds']*1e3:9.2f} ms  {shard['source']:10s} "
+                    f"attempts {shard['attempts']}"
+                )
+            if row.get("incomplete_shards"):
+                print(
+                    "    incomplete shards: "
+                    + ", ".join(str(i) for i in row["incomplete_shards"])
+                )
     return 0
 
 
@@ -392,6 +451,8 @@ def _cmd_experiments(args) -> int:
         factory_kwargs = {}
         if args.generator_version is not None:
             factory_kwargs["generator_version"] = args.generator_version
+        if args.readout_shards is not None:
+            factory_kwargs["readout_shards"] = args.readout_shards
         spec = specs[name](**factory_kwargs)
         if args.trials is not None:
             spec = spec.with_updates(trials=args.trials)

@@ -12,6 +12,9 @@ from repro.linalg import BACKEND_NAMES as LINALG_BACKENDS
 
 BACKENDS = ("circuit", "analytic")
 EVOLUTIONS = ("exact", "trotter")
+#: Failure policies of the sharded-readout supervisor (the canonical
+#: vocabulary — :mod:`repro.pipeline.supervisor` re-exports it).
+SHARD_FAILURE_MODES = ("raise", "degrade")
 
 
 @dataclass(frozen=True)
@@ -34,6 +37,29 @@ class QSCConfig:
         values strictly bound peak memory (each live filter block is
         ``chunk × dim`` amplitudes).  Chunking never changes results.
         Exposed on the CLI as ``--readout-chunk-size``.
+    readout_shards:
+        Split the readout stage into this many deterministic row shards
+        executed by the supervised work queue
+        (:mod:`repro.pipeline.sharding`).  ``None`` (default) runs the
+        classic unsharded stage; any count produces bit-identical results
+        because each shard consumes exactly the per-row RNG streams it
+        owns and shards merge in index order.  With ``save_stages`` each
+        shard checkpoints as ``readout.shard-<i>.npz``, so a crashed run
+        resumes recomputing only the missing shards.  Exposed on the CLI
+        as ``--readout-shards``.
+    shard_timeout:
+        Per-attempt wall-clock deadline (seconds) for one readout shard;
+        a worker past it is killed and the shard retried.  ``None``
+        (default) disables the deadline.  Exposed as ``--shard-timeout``.
+    shard_retries:
+        Extra attempts a failed/hung shard gets before the run's
+        ``shard_failure_mode`` policy applies (default 2 → up to three
+        attempts).  Exposed as ``--shard-retries``.
+    shard_failure_mode:
+        ``"raise"`` (default) aborts the fit when a shard exhausts its
+        retries; ``"degrade"`` returns partial results with the failed
+        shards' rows zeroed and their indices recorded in the readout
+        stage's ``incomplete_shards`` telemetry.
     draw_threads:
         Thread count for the readout pipeline's per-row RNG draw stages
         (tomography magnitudes/phases and amplitude estimation).  Row
@@ -88,6 +114,10 @@ class QSCConfig:
     shots: int = 2048
     histogram_shots: int = 4096
     readout_chunk_size: int | None = None
+    readout_shards: int | None = None
+    shard_timeout: float | None = None
+    shard_retries: int = 2
+    shard_failure_mode: str = "raise"
     draw_threads: int | None = None
     generator_version: str = "v1"
     backend: str = "analytic"
@@ -114,6 +144,23 @@ class QSCConfig:
             raise ClusteringError(
                 f"readout_chunk_size must be >= 1 or None, "
                 f"got {self.readout_chunk_size}"
+            )
+        if self.readout_shards is not None and self.readout_shards < 1:
+            raise ClusteringError(
+                f"readout_shards must be >= 1 or None, got {self.readout_shards}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ClusteringError(
+                f"shard_timeout must be positive or None, got {self.shard_timeout}"
+            )
+        if self.shard_retries < 0:
+            raise ClusteringError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if self.shard_failure_mode not in SHARD_FAILURE_MODES:
+            raise ClusteringError(
+                f"shard_failure_mode must be one of {SHARD_FAILURE_MODES}, "
+                f"got {self.shard_failure_mode!r}"
             )
         if self.draw_threads is not None and self.draw_threads < 1:
             raise ClusteringError(

@@ -108,6 +108,99 @@ def canonicalize_row_phases(rows: np.ndarray) -> np.ndarray:
     return rows
 
 
+def readout_span(
+    backend,
+    accepted: np.ndarray,
+    shots: int,
+    row_rngs,
+    start: int,
+    stop: int,
+    *,
+    chunk_size: int | None = None,
+    draw_threads: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Filter + tomography + amplitude estimation for rows ``[start, stop)``.
+
+    The chunk loop of :func:`batched_readout`, factored over an arbitrary
+    contiguous row span so the sharded readout path
+    (:mod:`repro.pipeline.sharding`) runs the *same* code per shard that
+    the unsharded stage runs over all rows.
+
+    Parameters
+    ----------
+    row_rngs:
+        Per-row generators indexed **locally**: ``row_rngs[i]`` serves
+        absolute row ``start + i``.  Callers slice the full
+        :func:`~repro.utils.rng.spawn_rngs` layout, so row ``start + i``
+        consumes exactly the stream it would in an unsharded pass —
+        the span decomposition provably cannot change any bit.
+    start, stop:
+        Absolute row range (``backend.project_rows`` node indices).
+    chunk_size:
+        Rows per filter/tomography block *within* the span; ``None``
+        processes the whole span in one block.
+
+    Returns
+    -------
+    ``(rows, norms, probabilities)`` of local length ``stop - start``,
+    **without** phase canonicalization (that is row-local and applied once
+    by the caller after any merge).
+    """
+    if shots < 0:
+        raise ClusteringError(f"shots must be non-negative, got {shots}")
+    span_rows = stop - start
+    rows = np.zeros((span_rows, backend.dim), dtype=complex)
+    norms = np.zeros(span_rows)
+    probabilities = np.zeros(span_rows)
+    if span_rows == 0:
+        return rows, norms, probabilities
+    if chunk_size is None:
+        chunk_size = span_rows
+    if chunk_size < 1:
+        raise ClusteringError(f"chunk_size must be >= 1, got {chunk_size}")
+    accepted = np.asarray(accepted, dtype=int)
+    for block_start in range(start, stop, chunk_size):
+        nodes = np.arange(block_start, min(block_start + chunk_size, stop))
+        local = nodes - start
+        filtered, block_probabilities = backend.project_rows(nodes, accepted)
+        probabilities[local] = block_probabilities
+        alive = np.flatnonzero(block_probabilities > 0.0)
+        if alive.size == 0:
+            continue  # no row in this block has mass in the subspace
+        alive_local = local[alive]
+        estimates = tomography_estimate_batch(
+            filtered[alive],
+            shots,
+            [row_rngs[index] for index in alive_local],
+            draw_threads=draw_threads,
+        )
+        if shots > 0:
+            # Amplitude estimation of the acceptance probability: binomial
+            # shot noise at the same budget, one draw per row from that
+            # row's own stream (after its tomography draws, as in the seed
+            # loop) — chunked/threaded like the tomography draws, which
+            # cannot change any stream's output.
+            estimated = np.empty(alive.size)
+            clipped = np.minimum(block_probabilities[alive], 1.0)
+
+            def draw_amplitudes(draw_start: int, draw_stop: int) -> None:
+                for index in range(draw_start, draw_stop):
+                    estimated[index] = (
+                        row_rngs[alive_local[index]].binomial(
+                            shots, clipped[index]
+                        )
+                        / shots
+                    )
+
+            run_per_stream(alive.size, draw_amplitudes, threads=draw_threads)
+        else:
+            estimated = block_probabilities[alive]
+        amplitudes = np.sqrt(estimated)
+        rows[alive_local] = amplitudes[:, None] * estimates
+        norms[alive_local] = amplitudes
+    return rows, norms, probabilities
+
+
 def batched_readout(
     backend,
     accepted: np.ndarray,
@@ -156,51 +249,17 @@ def batched_readout(
     num_nodes = int(backend.num_nodes)
     if shots < 0:
         raise ClusteringError(f"shots must be non-negative, got {shots}")
-    if chunk_size is None:
-        chunk_size = num_nodes
-    if chunk_size < 1:
-        raise ClusteringError(f"chunk_size must be >= 1, got {chunk_size}")
-    accepted = np.asarray(accepted, dtype=int)
     row_rngs = spawn_rngs(rng, num_nodes)
-    rows = np.zeros((num_nodes, backend.dim), dtype=complex)
-    norms = np.zeros(num_nodes)
-    probabilities = np.zeros(num_nodes)
-    for start in range(0, num_nodes, chunk_size):
-        nodes = np.arange(start, min(start + chunk_size, num_nodes))
-        filtered, block_probabilities = backend.project_rows(nodes, accepted)
-        probabilities[nodes] = block_probabilities
-        alive = np.flatnonzero(block_probabilities > 0.0)
-        if alive.size == 0:
-            continue  # no row in this block has mass in the subspace
-        alive_nodes = nodes[alive]
-        estimates = tomography_estimate_batch(
-            filtered[alive],
-            shots,
-            [row_rngs[node] for node in alive_nodes],
-            draw_threads=draw_threads,
-        )
-        if shots > 0:
-            # Amplitude estimation of the acceptance probability: binomial
-            # shot noise at the same budget, one draw per row from that
-            # row's own stream (after its tomography draws, as in the seed
-            # loop) — chunked/threaded like the tomography draws, which
-            # cannot change any stream's output.
-            estimated = np.empty(alive.size)
-            clipped = np.minimum(block_probabilities[alive], 1.0)
-
-            def draw_amplitudes(start: int, stop: int) -> None:
-                for index in range(start, stop):
-                    estimated[index] = (
-                        row_rngs[alive_nodes[index]].binomial(shots, clipped[index])
-                        / shots
-                    )
-
-            run_per_stream(alive.size, draw_amplitudes, threads=draw_threads)
-        else:
-            estimated = block_probabilities[alive]
-        amplitudes = np.sqrt(estimated)
-        rows[alive_nodes] = amplitudes[:, None] * estimates
-        norms[alive_nodes] = amplitudes
+    rows, norms, probabilities = readout_span(
+        backend,
+        accepted,
+        shots,
+        row_rngs,
+        0,
+        num_nodes,
+        chunk_size=chunk_size,
+        draw_threads=draw_threads,
+    )
     if canonical_phases:
         rows = canonicalize_row_phases(rows)
     return ReadoutResult(rows=rows, norms=norms, probabilities=probabilities)

@@ -50,6 +50,7 @@ def _trial(
     precision_bits,
     shots,
     generator_version="v1",
+    readout_shards=None,
 ) -> list[TrialRecord]:
     """One F1 trial: the full method panel on one cyclic-flow SBM."""
     strength = point["strength"]
@@ -68,6 +69,7 @@ def _trial(
         shots=shots,
         seed=seed,
         generator_version=generator_version,
+        readout_shards=readout_shards,
     )
     methods = standard_methods(num_clusters, seed, config)
     return evaluate_methods("F1", methods, graph, truth, {"strength": strength}, seed)
@@ -83,12 +85,15 @@ def spec(
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
 ) -> SweepSpec:
     """The declarative F1 sweep (same knobs as :func:`run`).
 
     ``generator_version`` picks the graph-generator seed contract; it is
     recorded in the sweep's ``fixed`` parameters, so every JSON artifact
-    states which contract produced its graphs.
+    states which contract produced its graphs.  ``readout_shards`` runs
+    every quantum fit's readout stage sharded (bit-identical records; the
+    value is likewise recorded in ``fixed``).
     """
     return SweepSpec(
         name="fig1",
@@ -106,6 +111,7 @@ def spec(
             "precision_bits": precision_bits,
             "shots": shots,
             "generator_version": generator_version,
+            "readout_shards": readout_shards,
         },
         render=series,
     )
@@ -121,6 +127,7 @@ def run(
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F1 direction-strength sweep through the sweep engine."""
@@ -136,6 +143,7 @@ def run(
                 shots=shots,
                 base_seed=base_seed,
                 generator_version=generator_version,
+                readout_shards=readout_shards,
             ),
             jobs=jobs,
         )

@@ -87,6 +87,7 @@ def _trial(
     include_circuit,
     circuit_num_nodes,
     generator_version="v1",
+    readout_shards=None,
 ) -> list[TrialRecord]:
     """One F2 trial: analytic fit + filter diagnostics (+ circuit check)."""
     precision = point["p"]
@@ -105,6 +106,7 @@ def _trial(
         shots=shots,
         seed=seed,
         generator_version=generator_version,
+        readout_shards=readout_shards,
     )
     pipeline = QSCPipeline(num_clusters, config)
     result = pipeline.run(graph)
@@ -138,6 +140,7 @@ def _trial(
             shots=shots,
             seed=seed,
             generator_version=generator_version,
+            readout_shards=readout_shards,
         )
         circuit_pipeline = QSCPipeline(num_clusters, circuit_config)
         circuit_labels = circuit_pipeline.run(small_graph).labels
@@ -164,6 +167,7 @@ def spec(
     include_circuit: bool = False,
     circuit_num_nodes: int = 12,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
 ) -> SweepSpec:
     """The declarative F2 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -182,6 +186,7 @@ def spec(
             "include_circuit": include_circuit,
             "circuit_num_nodes": circuit_num_nodes,
             "generator_version": generator_version,
+            "readout_shards": readout_shards,
         },
         render=series,
     )
@@ -197,6 +202,7 @@ def run(
     include_circuit: bool = False,
     circuit_num_nodes: int = 12,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F2 precision sweep through the sweep engine."""
@@ -212,6 +218,7 @@ def run(
                 include_circuit=include_circuit,
                 circuit_num_nodes=circuit_num_nodes,
                 generator_version=generator_version,
+                readout_shards=readout_shards,
             ),
             jobs=jobs,
         )

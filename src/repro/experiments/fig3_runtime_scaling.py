@@ -52,8 +52,13 @@ def _trial(
     precision_bits,
     shots,
     generator_version="v1",
+    readout_shards=None,
 ) -> list[TrialRecord]:
-    """Profile one sparse mixed SBM at the point's size."""
+    """Profile one sparse mixed SBM at the point's size.
+
+    ``readout_shards`` is accepted for CLI uniformity but inert: F3 models
+    quantum step counts instead of running the staged pipeline.
+    """
     num_nodes = point["n"]
     # keep the average degree constant so edges grow linearly with n
     p_intra = min(1.0, 2.0 * average_degree / num_nodes)
@@ -96,6 +101,7 @@ def spec(
     shots: int = 256,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
 ) -> SweepSpec:
     """The declarative F3 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -113,6 +119,7 @@ def spec(
             "precision_bits": precision_bits,
             "shots": shots,
             "generator_version": generator_version,
+            "readout_shards": readout_shards,
         },
         render=render_records,
     )
@@ -126,6 +133,7 @@ def run(
     shots: int = 256,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
     jobs: int = 1,
 ) -> list[RuntimeSample]:
     """Profile one sparse mixed SBM per size (constant average degree)."""
@@ -139,6 +147,7 @@ def run(
                 shots=shots,
                 base_seed=base_seed,
                 generator_version=generator_version,
+                readout_shards=readout_shards,
             ),
             jobs=jobs,
         )

@@ -50,6 +50,7 @@ def _trial(
     num_clusters,
     precision_bits,
     generator_version="v1",
+    readout_shards=None,
 ) -> list[TrialRecord]:
     """One F4 trial: noiseless reference fit + finite-shot fit."""
     shots = point["shots"]
@@ -69,6 +70,7 @@ def _trial(
             shots=0,
             seed=seed,
             generator_version=generator_version,
+            readout_shards=readout_shards,
         ),
     )
     noiseless = reference.run(graph)
@@ -83,6 +85,7 @@ def _trial(
             shots=shots,
             seed=seed,
             generator_version=generator_version,
+            readout_shards=readout_shards,
         ),
     ).run(graph, resume_from="readout", upstream=reference.state)
     embedding_error = float(
@@ -110,6 +113,7 @@ def spec(
     precision_bits: int = 7,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
 ) -> SweepSpec:
     """The declarative F4 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -126,6 +130,7 @@ def spec(
             "num_clusters": num_clusters,
             "precision_bits": precision_bits,
             "generator_version": generator_version,
+            "readout_shards": readout_shards,
         },
         render=series,
     )
@@ -139,6 +144,7 @@ def run(
     precision_bits: int = 7,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F4 shots sweep through the sweep engine."""
@@ -152,6 +158,7 @@ def run(
                 precision_bits=precision_bits,
                 base_seed=base_seed,
                 generator_version=generator_version,
+                readout_shards=readout_shards,
             ),
             jobs=jobs,
         )

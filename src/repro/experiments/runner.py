@@ -47,6 +47,7 @@ from repro.core.qpe_engine import spectral_cache_stats
 from repro.exceptions import ExperimentError
 from repro.experiments.common import TrialRecord
 from repro.pipeline.telemetry import (
+    SHARD_TOTAL_KEYS as _SHARD_PROFILE_KEYS,
     TOTAL_KEYS as _PROFILE_KEYS,
     merge_totals,
     stage_totals,
@@ -215,6 +216,14 @@ class SweepResult:
                     "seconds": float(entry.get("seconds", 0.0)),
                     "computed": int(entry.get("computed", 0)),
                     "loaded": int(entry.get("loaded", 0)),
+                    # Shard counters exist only for stages that ran sharded
+                    # (``readout_shards``); unsharded profiles keep the
+                    # classic three-key shape.
+                    **{
+                        key: int(entry[key])
+                        for key in _SHARD_PROFILE_KEYS
+                        if key in entry
+                    },
                 }
                 for stage, entry in self.profile.items()
             },
@@ -406,6 +415,12 @@ def validate_artifact(artifact: dict) -> dict:
                 if not isinstance(value, kind):
                     raise ExperimentError(
                         f"profile stage {stage!r} field {key!r} missing or mistyped"
+                    )
+            for key in _SHARD_PROFILE_KEYS:
+                # Optional (sharded runs only), but integer when present.
+                if key in entry and not isinstance(entry[key], int):
+                    raise ExperimentError(
+                        f"profile stage {stage!r} shard counter {key!r} mistyped"
                     )
     if not artifact["records"]:
         raise ExperimentError("artifact has no records")

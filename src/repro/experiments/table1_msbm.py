@@ -40,7 +40,14 @@ def _trial_seed(point, trial, base_seed) -> int:
 
 
 def _trial(
-    point, trial, seed, rng, precision_bits, shots, generator_version="v1"
+    point,
+    trial,
+    seed,
+    rng,
+    precision_bits,
+    shots,
+    generator_version="v1",
+    readout_shards=None,
 ) -> list[TrialRecord]:
     """One T1 trial: the full method panel on one mixed SBM instance."""
     num_nodes, num_clusters = point["n"], point["k"]
@@ -58,6 +65,7 @@ def _trial(
         shots=shots,
         seed=seed,
         generator_version=generator_version,
+        readout_shards=readout_shards,
     )
     methods = standard_methods(num_clusters, seed, config)
     return evaluate_methods(
@@ -78,6 +86,7 @@ def spec(
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
 ) -> SweepSpec:
     """The declarative T1 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -96,6 +105,7 @@ def spec(
             "precision_bits": precision_bits,
             "shots": shots,
             "generator_version": generator_version,
+            "readout_shards": readout_shards,
         },
         render=table,
     )
@@ -109,6 +119,7 @@ def run(
     shots: int = 1024,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the T1 sweep and return one record per (method, instance)."""
@@ -122,6 +133,7 @@ def run(
                 shots=shots,
                 base_seed=base_seed,
                 generator_version=generator_version,
+                readout_shards=readout_shards,
             ),
             jobs=jobs,
         )

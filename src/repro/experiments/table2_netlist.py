@@ -53,6 +53,7 @@ def _trial(
     precision_bits,
     shots,
     generator_version="v1",
+    readout_shards=None,
 ) -> list[TrialRecord]:
     """One T2 trial: the method panel on one synthetic netlist instance."""
     num_modules = point["modules"]
@@ -72,6 +73,7 @@ def _trial(
         shots=shots,
         theta=NETLIST_THETA,
         seed=seed,
+        readout_shards=readout_shards,
     )
     methods = standard_methods(num_modules, seed, config, theta=NETLIST_THETA)
     return evaluate_methods(
@@ -92,6 +94,7 @@ def spec(
     shots: int = 2048,
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
+    readout_shards: int | None = None,
 ) -> SweepSpec:
     """The declarative T2 sweep (same knobs as :func:`run`).
 
@@ -114,6 +117,7 @@ def spec(
             "precision_bits": precision_bits,
             "shots": shots,
             "generator_version": generator_version,
+            "readout_shards": readout_shards,
         },
         render=table,
     )

@@ -10,7 +10,10 @@ Public surface:
   for new stages;
 * :mod:`~repro.pipeline.telemetry` — per-stage profiling
   (``stage_totals`` feeds the sweep-artifact profile field);
-* :mod:`~repro.pipeline.checkpoint` — the ``<stage>.npz`` on-disk format.
+* :mod:`~repro.pipeline.checkpoint` — the ``<stage>.npz`` on-disk format;
+* :mod:`~repro.pipeline.sharding` / :mod:`~repro.pipeline.supervisor` —
+  deterministic row-sharding of the readout stage under a supervised
+  work queue (``sharded_readout``, ``ShardSupervisor``).
 """
 
 from repro.pipeline.checkpoint import (
@@ -20,9 +23,22 @@ from repro.pipeline.checkpoint import (
     save_stage_payload,
 )
 from repro.pipeline.pipeline import QSCPipeline
+from repro.pipeline.sharding import (
+    RowShard,
+    ShardedReadout,
+    shard_layout,
+    sharded_readout,
+)
 from repro.pipeline.stage import Stage, StageContext
 from repro.pipeline.stages import STAGE_NAMES, build_stages
+from repro.pipeline.supervisor import (
+    InlineShardExecutor,
+    ProcessShardExecutor,
+    ShardSupervisor,
+    ShardTask,
+)
 from repro.pipeline.telemetry import (
+    ShardReport,
     StageReport,
     reset_stage_totals,
     stage_totals,
@@ -30,8 +46,15 @@ from repro.pipeline.telemetry import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "InlineShardExecutor",
+    "ProcessShardExecutor",
     "QSCPipeline",
+    "RowShard",
     "STAGE_NAMES",
+    "ShardReport",
+    "ShardSupervisor",
+    "ShardTask",
+    "ShardedReadout",
     "Stage",
     "StageContext",
     "StageReport",
@@ -40,5 +63,7 @@ __all__ = [
     "load_stage_payload",
     "reset_stage_totals",
     "save_stage_payload",
+    "shard_layout",
+    "sharded_readout",
     "stage_totals",
 ]

@@ -147,11 +147,15 @@ class QSCPipeline:
             config=cfg,
             requested_clusters=self.num_clusters,
             rngs=dict(zip(RNG_STREAMS, streams)),
+            save_dir=save_stages,
+            load_dir=stages_dir,
         )
         reports = []
         for index, stage in enumerate(build_stages()):
             cache_before = spectral_cache_stats()
             start = time.perf_counter()
+            ctx.shard_reports = ()
+            ctx.incomplete_shards = ()
             # The context fingerprint binds a checkpoint to everything the
             # stage's output depends on (graph content, requested k, its
             # cumulative config fields) — loading under a different graph
@@ -165,6 +169,7 @@ class QSCPipeline:
                 self.num_clusters if stage.fingerprint_clusters else None,
                 stage.fingerprint_fields,
             )
+            ctx.fingerprint = fingerprint
             if index < resume_index:
                 if upstream is not None:
                     values = {key: upstream[key] for key in stage.provides}
@@ -178,7 +183,11 @@ class QSCPipeline:
             else:
                 values = stage.execute(ctx)
                 source = "computed"
-                if save_stages is not None:
+                # A degraded sharded stage (incomplete shards) is never
+                # checkpointed whole: its completed shard files remain, so
+                # a later resume recomputes only what is actually missing
+                # instead of silently inheriting zero rows.
+                if save_stages is not None and not ctx.incomplete_shards:
                     checkpoint.save_stage_payload(
                         save_stages, stage.name, stage.pack(values), fingerprint
                     )
@@ -191,6 +200,8 @@ class QSCPipeline:
                 source=source,
                 cache_hits=cache_after["hits"] - cache_before["hits"],
                 cache_misses=cache_after["misses"] - cache_before["misses"],
+                shards=ctx.shard_reports,
+                incomplete_shards=ctx.incomplete_shards,
             )
             telemetry.record_stage(report)
             reports.append(report)

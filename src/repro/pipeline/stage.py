@@ -51,6 +51,19 @@ class StageContext:
         downstream stream is unaffected.
     state:
         The shared key → value store stages read from and write to.
+    save_dir / load_dir:
+        Checkpoint directories of the current run (``save_stages`` /
+        ``stages_dir``), exposed so a stage that manages *sub-stage*
+        checkpoints — the sharded readout's ``readout.shard-<i>.npz``
+        files — can write and resume them itself.  ``None`` when the run
+        is not checkpointing.
+    fingerprint:
+        The executing stage's context fingerprint, set by the driver
+        before each stage; sub-stage checkpoints extend it.
+    shard_reports / incomplete_shards:
+        Side channel a sharded stage fills during ``run``; the driver
+        folds them into the stage's :class:`~repro.pipeline.telemetry.StageReport`
+        and resets them between stages.
     """
 
     graph: object
@@ -58,6 +71,11 @@ class StageContext:
     requested_clusters: object
     rngs: dict
     state: dict = field(default_factory=dict)
+    save_dir: object = None
+    load_dir: object = None
+    fingerprint: str = ""
+    shard_reports: tuple = ()
+    incomplete_shards: tuple = ()
 
     def require(self, key: str):
         """Fetch a state value a stage declared in ``requires``."""

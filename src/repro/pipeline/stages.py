@@ -56,9 +56,10 @@ _THRESHOLD_FIELDS = _LAPLACIAN_FIELDS + (
     "eigenvalue_threshold",
     "seed",
 )
-# Readout adds the shot budget (chunking/threading provably don't change
-# output — pinned in tests/core/test_readout.py — so they stay out, which
-# is what lets a resume re-chunk freely).
+# Readout adds the shot budget (chunking/threading/sharding provably don't
+# change output — pinned in tests/core/test_readout.py and
+# tests/pipeline/test_sharding.py — so those knobs stay out, which is what
+# lets a resume re-chunk or re-shard freely).
 _READOUT_FIELDS = _THRESHOLD_FIELDS + ("shots",)
 _QMEANS_FIELDS = _READOUT_FIELDS + (
     "qmeans_delta",
@@ -205,14 +206,39 @@ class ReadoutStage(Stage):
 
     def run(self, ctx: StageContext) -> dict:
         cfg = ctx.config
-        readout = batched_readout(
-            ctx.require("backend"),
-            ctx.require("accepted"),
-            cfg.shots,
-            ctx.rngs["rows"],
-            chunk_size=cfg.readout_chunk_size,
-            draw_threads=cfg.draw_threads,
-        )
+        if cfg.readout_shards is None:
+            readout = batched_readout(
+                ctx.require("backend"),
+                ctx.require("accepted"),
+                cfg.shots,
+                ctx.rngs["rows"],
+                chunk_size=cfg.readout_chunk_size,
+                draw_threads=cfg.draw_threads,
+            )
+        else:
+            # Deferred import: sharding pulls in the supervisor machinery,
+            # which unsharded runs never need.
+            from repro.pipeline.sharding import sharded_readout
+
+            sharded = sharded_readout(
+                ctx.require("backend"),
+                ctx.require("accepted"),
+                cfg.shots,
+                ctx.rngs["rows"],
+                shard_count=cfg.readout_shards,
+                chunk_size=cfg.readout_chunk_size,
+                draw_threads=cfg.draw_threads,
+                timeout=cfg.shard_timeout,
+                retries=cfg.shard_retries,
+                on_failure=cfg.shard_failure_mode,
+                checkpoint_dir=ctx.load_dir,
+                save_dir=ctx.save_dir,
+                context_fingerprint=ctx.fingerprint,
+                stage_name=self.name,
+            )
+            ctx.shard_reports = sharded.shards
+            ctx.incomplete_shards = sharded.incomplete_shards
+            readout = sharded.result
         return {
             "rows": readout.rows,
             "norms": readout.norms,

@@ -26,6 +26,66 @@ STAGE_SOURCES = ("computed", "checkpoint", "reused")
 #: Counter keys of one stage's process-wide totals entry.
 TOTAL_KEYS = ("seconds", "computed", "loaded")
 
+#: Where one row-shard's payload came from during a sharded stage.
+SHARD_SOURCES = ("computed", "checkpoint", "failed")
+
+#: Shard counter keys a sharded stage adds to its totals entry.  They are
+#: only present when shard activity actually occurred, so the unsharded
+#: totals shape is exactly :data:`TOTAL_KEYS` as before.
+SHARD_TOTAL_KEYS = (
+    "shards_computed",
+    "shards_loaded",
+    "shards_retried",
+    "shards_failed",
+)
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Telemetry of one row shard inside a sharded stage execution.
+
+    Attributes
+    ----------
+    shard:
+        Shard index within the stage's :func:`~repro.pipeline.sharding.shard_layout`.
+    start / stop:
+        The contiguous row span the shard owns.
+    seconds:
+        Supervised wall time across all attempts (or the checkpoint load
+        time when the shard was resumed from disk).
+    attempts:
+        Worker attempts the supervisor ran (``0`` for checkpoint loads;
+        ``> 1`` means the shard was retried).
+    source:
+        ``"computed"`` (a worker produced it), ``"checkpoint"`` (loaded
+        from a shard file of a previous run), or ``"failed"`` (every
+        attempt failed and the run degraded to partial results).
+    error:
+        Last failure message for ``source == "failed"``, else ``None``.
+    """
+
+    shard: int
+    start: int
+    stop: int
+    seconds: float
+    attempts: int
+    source: str
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        """Plain-dict form used inside ``StageReport.as_dict``."""
+        row = {
+            "shard": int(self.shard),
+            "start": int(self.start),
+            "stop": int(self.stop),
+            "seconds": float(self.seconds),
+            "attempts": int(self.attempts),
+            "source": self.source,
+        }
+        if self.error is not None:
+            row["error"] = self.error
+        return row
+
 
 @dataclass(frozen=True)
 class StageReport:
@@ -45,6 +105,12 @@ class StageReport:
     cache_hits / cache_misses:
         Spectral-cache delta bracketing the stage — how much of its
         spectral work was served from :data:`repro.core.qpe_engine.SPECTRAL_CACHE`.
+    shards:
+        Per-shard :class:`ShardReport` rows when the stage ran sharded
+        (``QSCConfig.readout_shards``); empty otherwise.
+    incomplete_shards:
+        Shard indices that failed under graceful degradation — their rows
+        are zero in the merged output.  Empty on complete runs.
     """
 
     stage: str
@@ -52,16 +118,22 @@ class StageReport:
     source: str
     cache_hits: int
     cache_misses: int
+    shards: tuple = ()
+    incomplete_shards: tuple = ()
 
     def as_dict(self) -> dict:
         """Plain-dict form used by ``QSCResult.profile`` and the CLI."""
-        return {
+        row = {
             "stage": self.stage,
             "seconds": float(self.seconds),
             "source": self.source,
             "cache_hits": int(self.cache_hits),
             "cache_misses": int(self.cache_misses),
         }
+        if self.shards:
+            row["shards"] = [shard.as_dict() for shard in self.shards]
+            row["incomplete_shards"] = [int(i) for i in self.incomplete_shards]
+        return row
 
 
 _TOTALS: dict[str, dict] = {}
@@ -77,6 +149,19 @@ def record_stage(report: StageReport) -> None:
         entry["computed"] += 1
     else:
         entry["loaded"] += 1
+    if report.shards:
+        # Shard counters appear only on stages that actually ran sharded,
+        # keeping the classic totals shape byte-for-byte for everyone else.
+        for key in SHARD_TOTAL_KEYS:
+            entry.setdefault(key, 0)
+        for shard in report.shards:
+            if shard.source == "computed":
+                entry["shards_computed"] += 1
+            elif shard.source == "checkpoint":
+                entry["shards_loaded"] += 1
+            else:
+                entry["shards_failed"] += 1
+            entry["shards_retried"] += max(0, int(shard.attempts) - 1)
 
 
 def stage_totals() -> dict:
@@ -95,11 +180,17 @@ def reset_stage_totals() -> None:
 
 
 def totals_delta(before: dict, after: dict) -> dict:
-    """Per-stage difference of two :func:`stage_totals` snapshots."""
+    """Per-stage difference of two :func:`stage_totals` snapshots.
+
+    Shard counter keys (:data:`SHARD_TOTAL_KEYS`) are carried through
+    only for stages whose entries grew them — unsharded stages keep the
+    classic three-key rows.
+    """
     delta = {}
     for stage, entry in after.items():
         base = before.get(stage, {})
-        row = {key: entry[key] - base.get(key, 0) for key in TOTAL_KEYS}
+        keys = TOTAL_KEYS + tuple(k for k in SHARD_TOTAL_KEYS if k in entry)
+        row = {key: entry[key] - base.get(key, 0) for key in keys}
         if row["computed"] or row["loaded"] or row["seconds"]:
             delta[stage] = row
     return delta
@@ -111,6 +202,6 @@ def merge_totals(accumulator: dict, delta: dict) -> dict:
         entry = accumulator.setdefault(
             stage, {"seconds": 0.0, "computed": 0, "loaded": 0}
         )
-        for key in TOTAL_KEYS:
-            entry[key] += row[key]
+        for key in row:
+            entry[key] = entry.get(key, 0) + row[key]
     return accumulator

@@ -91,6 +91,53 @@ class TestClusterCommand:
         threaded = capsys.readouterr().out
         assert threaded.splitlines()[0] == serial.splitlines()[0]
 
+    def test_readout_shards_match_unsharded(self, graph_file, capsys):
+        path, _ = graph_file
+        args = [
+            "cluster",
+            "--input",
+            path,
+            "--clusters",
+            "2",
+            "--shots",
+            "128",
+            "--seed",
+            "1",
+        ]
+        assert main(args) == 0
+        unsharded = capsys.readouterr().out
+        assert main(args + ["--readout-shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded.splitlines()[0] == unsharded.splitlines()[0]
+
+    def test_readout_shards_profile_lists_shards(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            ["cluster", "--input", path, "--clusters", "2", "--shots", "64",
+             "--seed", "1", "--readout-shards", "3", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard 0 rows" in out
+        assert "shard 2 rows" in out
+        assert "attempts 1" in out
+
+    def test_readout_shards_rejects_zero(self, graph_file, capsys):
+        path, _ = graph_file
+        code = main(
+            [
+                "cluster",
+                "--input",
+                path,
+                "--clusters",
+                "2",
+                "--readout-shards",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "readout_shards" in capsys.readouterr().err
+
     def test_profile_prints_stage_table(self, graph_file, capsys):
         path, _ = graph_file
         code = main(
@@ -360,6 +407,30 @@ class TestExperimentsCommand:
         assert code == 0
         artifact = validate_artifact_file(tmp_path / "fig1.json")
         assert artifact["spec"]["fixed"]["generator_version"] == "v2"
+
+    def test_readout_shards_recorded_with_shard_counters(self, tmp_path, capsys):
+        from repro.experiments.runner import validate_artifact_file
+
+        code = main(
+            [
+                "experiments",
+                "--only",
+                "fig1",
+                "--trials",
+                "1",
+                "--readout-shards",
+                "2",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        artifact = validate_artifact_file(tmp_path / "fig1.json")
+        assert artifact["spec"]["fixed"]["readout_shards"] == 2
+        readout = artifact["profile"]["readout"]
+        # every trial ran sharded: 2 shards per computed readout stage
+        assert readout["shards_computed"] == 2 * readout["computed"]
+        assert readout["shards_failed"] == 0
 
     def test_unknown_experiment_errors(self, capsys):
         assert main(["experiments", "--only", "fig9"]) == 1
