@@ -135,6 +135,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     cluster.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "concurrent worker processes for sharded readout; results are "
+            "identical at any value (default: one per CPU core)"
+        ),
+    )
+    cluster.add_argument(
         "--draw-threads",
         type=int,
         default=None,
@@ -299,6 +309,7 @@ def _cmd_cluster(args) -> int:
             readout_shards=args.readout_shards,
             shard_timeout=args.shard_timeout,
             shard_retries=args.shard_retries,
+            shard_workers=args.shard_workers,
             draw_threads=args.draw_threads,
             theta=args.theta,
             seed=args.seed,

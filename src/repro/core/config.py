@@ -60,6 +60,13 @@ class QSCConfig:
         retries; ``"degrade"`` returns partial results with the failed
         shards' rows zeroed and their indices recorded in the readout
         stage's ``incomplete_shards`` telemetry.
+    shard_workers:
+        Concurrent worker processes for the sharded readout stage.
+        ``None`` (default) caps in-flight attempts at ``os.cpu_count()``
+        — each worker inherits ``draw_threads``, so launching one process
+        per shard regardless of core count would oversubscribe the host
+        at high shard counts.  Worker concurrency never changes results
+        (shards merge in index order).  Exposed as ``--shard-workers``.
     draw_threads:
         Thread count for the readout pipeline's per-row RNG draw stages
         (tomography magnitudes/phases and amplitude estimation).  Row
@@ -118,6 +125,7 @@ class QSCConfig:
     shard_timeout: float | None = None
     shard_retries: int = 2
     shard_failure_mode: str = "raise"
+    shard_workers: int | None = None
     draw_threads: int | None = None
     generator_version: str = "v1"
     backend: str = "analytic"
@@ -161,6 +169,10 @@ class QSCConfig:
             raise ClusteringError(
                 f"shard_failure_mode must be one of {SHARD_FAILURE_MODES}, "
                 f"got {self.shard_failure_mode!r}"
+            )
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ClusteringError(
+                f"shard_workers must be >= 1 or None, got {self.shard_workers}"
             )
         if self.draw_threads is not None and self.draw_threads < 1:
             raise ClusteringError(

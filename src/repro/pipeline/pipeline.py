@@ -139,6 +139,18 @@ class QSCPipeline:
                 f"resume_from={resume_from!r} needs checkpoints: pass "
                 "stages_dir/save_stages or an in-memory upstream state"
             )
+        if resume_index > 0 and upstream is not None:
+            blocked = [
+                name
+                for name in upstream.get("degraded_stages", ())
+                if name in STAGE_NAMES and STAGE_NAMES.index(name) < resume_index
+            ]
+            if blocked:
+                raise ClusteringError(
+                    "upstream state is degraded (incomplete shards in "
+                    f"{', '.join(blocked)}); resume from {blocked[0]!r} or "
+                    "earlier so the degraded stage is recomputed"
+                )
 
         master = ensure_rng(cfg.seed)
         streams = spawn_rngs(master, len(RNG_STREAMS))
@@ -151,6 +163,7 @@ class QSCPipeline:
             load_dir=stages_dir,
         )
         reports = []
+        degraded: list[str] = []
         for index, stage in enumerate(build_stages()):
             cache_before = spectral_cache_stats()
             start = time.perf_counter()
@@ -183,11 +196,16 @@ class QSCPipeline:
             else:
                 values = stage.execute(ctx)
                 source = "computed"
+                if ctx.incomplete_shards:
+                    degraded.append(stage.name)
                 # A degraded sharded stage (incomplete shards) is never
-                # checkpointed whole: its completed shard files remain, so
-                # a later resume recomputes only what is actually missing
-                # instead of silently inheriting zero rows.
-                if save_stages is not None and not ctx.incomplete_shards:
+                # checkpointed whole, and neither is anything downstream
+                # of it: downstream outputs are computed from zeroed rows
+                # yet would fingerprint exactly like complete ones.  The
+                # completed shard files remain, so a later resume
+                # recomputes only what is actually missing instead of
+                # silently inheriting zero rows.
+                if save_stages is not None and not degraded:
                     checkpoint.save_stage_payload(
                         save_stages, stage.name, stage.pack(values), fingerprint
                     )
@@ -206,6 +224,12 @@ class QSCPipeline:
             telemetry.record_stage(report)
             reports.append(report)
 
+        if degraded:
+            # Mark the state so reusing it in memory (``upstream=
+            # pipeline.state``) downstream of the degradation is refused —
+            # the degraded stage's outputs carry zeroed rows that are
+            # otherwise indistinguishable from complete ones.
+            ctx.state["degraded_stages"] = tuple(degraded)
         self.state = ctx.state
         self.profile = tuple(report.as_dict() for report in reports)
         return self._assemble(ctx)

@@ -26,6 +26,7 @@ shards' rows zeroed and their indices reported in ``incomplete_shards``.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
@@ -130,6 +131,16 @@ def compute_shard(backend, accepted, shots, shard_rngs, shard, options) -> dict:
     return {"rows": rows, "norms": norms, "probabilities": probabilities}
 
 
+def default_max_workers() -> int:
+    """Worker cap used when the caller passes ``max_workers=None``.
+
+    One in-flight attempt per core: each worker process inherits
+    ``draw_threads``, so launching every shard at once at high shard
+    counts would oversubscribe (or exhaust) the host.
+    """
+    return os.cpu_count() or 1
+
+
 def default_executor(shard_count: int):
     """Executor used when the caller does not inject one.
 
@@ -202,6 +213,9 @@ def sharded_readout(
     timeout / retries / on_failure / max_workers:
         Supervision policy — see
         :class:`~repro.pipeline.supervisor.ShardSupervisor`.
+        ``max_workers=None`` caps in-flight attempts at
+        :func:`default_max_workers` (one per core) rather than running
+        every shard at once.
     checkpoint_dir:
         Directory to load completed shard checkpoints from (crash
         resume); shards found there are not re-run.  A shard file whose
@@ -277,7 +291,9 @@ def sharded_readout(
             timeout=timeout,
             retries=retries,
             on_failure=on_failure,
-            max_workers=max_workers,
+            max_workers=(
+                default_max_workers() if max_workers is None else max_workers
+            ),
         )
 
         def persist(outcome) -> None:

@@ -231,6 +231,7 @@ class ReadoutStage(Stage):
                 timeout=cfg.shard_timeout,
                 retries=cfg.shard_retries,
                 on_failure=cfg.shard_failure_mode,
+                max_workers=cfg.shard_workers,
                 checkpoint_dir=ctx.load_dir,
                 save_dir=ctx.save_dir,
                 context_fingerprint=ctx.fingerprint,

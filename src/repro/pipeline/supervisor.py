@@ -160,10 +160,22 @@ class _ProcessHandle(ShardHandle):
         self._connection = connection
         self._index = index
         self._message = None
+        self._pipe_dead = False
 
     def _drain(self) -> None:
-        if self._message is None and self._connection.poll():
-            self._message = self._connection.recv()
+        if self._message is not None or self._pipe_dead:
+            return
+        if self._connection.poll():
+            try:
+                self._message = self._connection.recv()
+            except (EOFError, OSError):
+                # The pipe hit EOF with no payload: the worker died before
+                # it could report (segfault, kill signal, OOM) — poll()
+                # returns True at EOF, so recv() raising here IS the crash
+                # signal.  Leave _message unset; result() turns it into
+                # the "worker died without a result" ClusteringError that
+                # the supervisor's retry path handles.
+                self._pipe_dead = True
 
     def done(self) -> bool:
         self._drain()

@@ -18,6 +18,8 @@ attempt that dies immediately, a "hang" an attempt that never finishes
 inline.
 """
 
+import os
+
 import numpy as np
 import pytest
 from test_golden import GOLDEN, build_case, result_digest
@@ -34,6 +36,7 @@ from repro.pipeline.sharding import (
 )
 from repro.pipeline.supervisor import (
     InlineShardExecutor,
+    ProcessShardExecutor,
     ShardHandle,
     ShardSupervisor,
     ShardTask,
@@ -89,6 +92,36 @@ class FaultyShardExecutor:
 def _always(mode, shard_index, attempts=10):
     """A schedule failing every attempt of one shard."""
     return {(shard_index, attempt): mode for attempt in range(1, attempts + 1)}
+
+
+# --- module-level task payloads for the real process executor ----------
+# (must be picklable, hence top-level; a hard os._exit kills the worker
+# without a traceback or a piped-back report — the closest in-test stand-
+# in for a segfault or an OOM kill)
+
+
+def _exit_first_attempt(sentinel, value):
+    """Die without reporting on the first call, succeed afterwards.
+
+    Attempt state must live outside the worker (each attempt is a fresh
+    process), so the first caller leaves a sentinel file behind.
+    """
+    from pathlib import Path
+
+    path = Path(sentinel)
+    if not path.exists():
+        path.write_text("crashed")
+        os._exit(1)
+    return value
+
+
+def _hard_exit():
+    """Die without reporting, every attempt."""
+    os._exit(1)
+
+
+def _identity(value):
+    return value
 
 
 def _readout_case():
@@ -209,6 +242,53 @@ class TestSupervisor:
             ShardSupervisor(max_workers=0)
 
 
+class TestProcessExecutorCrashes:
+    """Real worker processes that die WITHOUT reporting.
+
+    ``os._exit(1)`` closes the result pipe with no payload — exactly what
+    a segfault or an OOM kill looks like to the supervisor.  The pipe-EOF
+    must surface as the retryable "worker died without a result"
+    ClusteringError, not as a raw EOFError escaping the supervision loop.
+    """
+
+    def test_hard_crash_is_retried(self, tmp_path):
+        supervisor = ShardSupervisor(
+            ProcessShardExecutor(), retries=2, backoff_base=0.0
+        )
+        outcomes = supervisor.run(
+            [
+                ShardTask(
+                    0, _exit_first_attempt, (str(tmp_path / "mark"), "payload")
+                )
+            ]
+        )
+        assert outcomes[0].value == "payload"
+        assert outcomes[0].attempts == 2
+        assert not outcomes[0].failed
+
+    def test_hard_crash_exhaustion_raises_clustering_error(self):
+        supervisor = ShardSupervisor(
+            ProcessShardExecutor(), retries=0, backoff_base=0.0
+        )
+        with pytest.raises(ClusteringError, match="died without a result"):
+            supervisor.run([ShardTask(0, _hard_exit)])
+
+    def test_hard_crash_exhaustion_degrades(self):
+        supervisor = ShardSupervisor(
+            ProcessShardExecutor(),
+            retries=1,
+            backoff_base=0.0,
+            on_failure="degrade",
+        )
+        outcomes = supervisor.run(
+            [ShardTask(0, _hard_exit), ShardTask(1, _identity, ("ok",))]
+        )
+        assert outcomes[1].value == "ok" and not outcomes[1].failed
+        assert outcomes[0].failed and outcomes[0].value is None
+        assert "died without a result" in outcomes[0].error
+        assert outcomes[0].attempts == 2
+
+
 class TestBitIdentity:
     """Any shard count must land on the unsharded golden digest."""
 
@@ -229,6 +309,17 @@ class TestBitIdentity:
         # pinning that real worker processes reproduce the digest too.
         graph, k, config = build_case("analytic_shots")
         _, result = _run_sharded(graph, k, config, 2)
+        assert result_digest(result) == GOLDEN["analytic_shots"]
+
+    def test_pipeline_matches_golden_with_worker_cap(self, monkeypatch):
+        # Worker concurrency is pure scheduling: a serial cap of one
+        # in-flight shard still merges to the same bits.
+        monkeypatch.setattr(
+            sharding, "default_executor", lambda count: InlineShardExecutor()
+        )
+        graph, k, config = build_case("analytic_shots")
+        config = config.with_updates(shard_workers=1)
+        _, result = _run_sharded(graph, k, config, 5)
         assert result_digest(result) == GOLDEN["analytic_shots"]
 
     def test_sharded_readout_matches_batched_readout(self):
@@ -301,7 +392,7 @@ class TestFaultInjectionThroughPipeline:
         assert np.all(result.row_norms[dead] == 0.0)
         assert result.labels.shape == (graph.num_nodes,)
 
-    def test_degraded_run_does_not_checkpoint_the_stage(
+    def test_degraded_run_does_not_checkpoint_stage_or_downstream(
         self, monkeypatch, tmp_path
     ):
         monkeypatch.setattr(
@@ -318,8 +409,42 @@ class TestFaultInjectionThroughPipeline:
         assert checkpoint.has_stage_checkpoint(tmp_path, "readout.shard-0")
         assert not checkpoint.has_stage_checkpoint(tmp_path, "readout.shard-1")
         assert checkpoint.has_stage_checkpoint(tmp_path, "readout.shard-2")
-        # Downstream stages of the degraded run are checkpointed normally.
-        assert checkpoint.has_stage_checkpoint(tmp_path, "qmeans")
+        # Downstream stages were computed from the zeroed rows and would
+        # fingerprint like complete ones — they must not be checkpointed
+        # either, so a resume can never skip past the degradation.
+        assert not checkpoint.has_stage_checkpoint(tmp_path, "embedding")
+        assert not checkpoint.has_stage_checkpoint(tmp_path, "qmeans")
+        # Stages upstream of the degradation are complete and keep theirs.
+        assert checkpoint.has_stage_checkpoint(tmp_path, "laplacian")
+        assert checkpoint.has_stage_checkpoint(tmp_path, "threshold")
+
+    def test_degraded_state_refuses_in_memory_downstream_reuse(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            sharding,
+            "default_executor",
+            lambda count: FaultyShardExecutor(_always("crash", 1)),
+        )
+        graph, k, config = build_case("analytic_shots")
+        config = config.with_updates(shard_failure_mode="degrade")
+        pipeline, _ = _run_sharded(graph, k, config, 3)
+        assert pipeline.state["degraded_stages"] == ("readout",)
+        # Reusing the degraded state downstream of the failure would build
+        # on zeroed rows — refused.
+        with pytest.raises(ClusteringError, match="degraded"):
+            QSCPipeline(k, pipeline.config).run(
+                graph, resume_from="qmeans", upstream=pipeline.state
+            )
+        # Resuming AT (or before) the degraded stage recomputes it — fine,
+        # and with a healthy executor it lands back on the golden digest.
+        monkeypatch.setattr(
+            sharding, "default_executor", lambda count: InlineShardExecutor()
+        )
+        result = QSCPipeline(k, pipeline.config).run(
+            graph, resume_from="readout", upstream=pipeline.state
+        )
+        assert result_digest(result) == GOLDEN["analytic_shots"]
 
 
 class TestCrashResume:
@@ -517,6 +642,12 @@ class TestConfigValidation:
             QSCConfig(shard_retries=-1)
         with pytest.raises(ClusteringError, match="shard_failure_mode"):
             QSCConfig(shard_failure_mode="panic")
+        with pytest.raises(ClusteringError, match="shard_workers"):
+            QSCConfig(shard_workers=0)
+
+    def test_default_worker_cap_is_cpu_bound(self):
+        """None caps in-flight workers at the core count, not shard count."""
+        assert sharding.default_max_workers() == (os.cpu_count() or 1)
 
     def test_shard_knobs_stay_out_of_readout_fingerprint(self):
         """Re-sharding a resume is legal: the stage fingerprint ignores it."""
@@ -527,7 +658,10 @@ class TestConfigValidation:
         resharded = checkpoint.context_fingerprint(
             graph,
             config.with_updates(
-                readout_shards=4, shard_timeout=1.0, shard_retries=0
+                readout_shards=4,
+                shard_timeout=1.0,
+                shard_retries=0,
+                shard_workers=2,
             ),
             k,
             _READOUT_FIELDS,

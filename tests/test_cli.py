@@ -109,6 +109,12 @@ class TestClusterCommand:
         assert main(args + ["--readout-shards", "2"]) == 0
         sharded = capsys.readouterr().out
         assert sharded.splitlines()[0] == unsharded.splitlines()[0]
+        # Worker concurrency is pure scheduling — same labels either way.
+        assert (
+            main(args + ["--readout-shards", "2", "--shard-workers", "1"]) == 0
+        )
+        capped = capsys.readouterr().out
+        assert capped.splitlines()[0] == unsharded.splitlines()[0]
 
     def test_readout_shards_profile_lists_shards(self, graph_file, capsys):
         path, _ = graph_file
