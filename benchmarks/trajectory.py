@@ -19,13 +19,16 @@ spectral cache is gated on its deterministic hit/miss counters, with the
 warm-sweep speedup recorded as data rather than enforced (a single
 scheduler stall in a ~50 ms sweep would otherwise flake CI —
 ``benchmarks/bench_fig2_precision.py`` still gates it for local runs).
+The shared content-addressed store is gated the same way: a warm
+store-backed sweep with the memory tier cleared must be served entirely
+by on-disk hits (``warm_store_*`` gates), its speedup recorded as data.
 The cross-run trend gate uses the loose ``MIN_RELATIVE_TREND`` fraction
 because its two sides come from different CI runs.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/trajectory.py \
-        --out BENCH_pr6.json --series BENCH_trajectory.json --label pr6
+        --out BENCH_pr7.json --series BENCH_trajectory.json --label pr7
 
 Exit status is non-zero if any gate fails; the JSON (and the updated
 series) is written either way so the failing numbers are inspectable.
@@ -123,6 +126,50 @@ def measure_sweep_cache() -> dict:
         "warm_speedup": cold.elapsed_seconds / warm.elapsed_seconds,
         "cold_cache": cold.cache,
         "warm_cache": warm.cache,
+    }
+
+
+def measure_store() -> dict:
+    """Cold vs warm *store-backed* smoke sweep — the cross-process gate.
+
+    Extends the in-process ``measure_sweep_cache`` contract to the shared
+    content-addressed store: the sweep runs twice against one temporary
+    store root with the in-memory spectral tier cleared in between, so
+    the warm pass simulates a *fresh process* that can only be served by
+    the on-disk tier.  The gate is deterministic counters again — warm
+    pass misses nothing, hits the disk tier at least once, and produces
+    bit-identical records — while the warm speedup rides along as data.
+    """
+    import tempfile
+
+    from repro.core.qpe_engine import clear_spectral_cache
+    from repro.experiments import fig2_precision_sweep
+    from repro.experiments.runner import SweepRunner
+    from repro.store import configure_store
+
+    spec_kwargs = {"precisions": (2, 7), "num_nodes": 40, "trials": 1}
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-store-") as root:
+            spec = fig2_precision_sweep.spec(store_dir=root, **spec_kwargs)
+            runner = SweepRunner(spec)
+            clear_spectral_cache()
+            cold = runner.run()
+            # Drop the memory tier so the warm pass plays a fresh process:
+            # only the on-disk store can serve it.
+            clear_spectral_cache()
+            warm = runner.run()
+    finally:
+        configure_store(root=None)
+        clear_spectral_cache()
+    if warm.records != cold.records:
+        raise AssertionError("warm store-backed sweep records differ from cold")
+    return {
+        "tasks": len(spec.tasks()),
+        "cold_seconds": cold.elapsed_seconds,
+        "warm_seconds": warm.elapsed_seconds,
+        "warm_speedup": cold.elapsed_seconds / warm.elapsed_seconds,
+        "cold_store": cold.store,
+        "warm_store": warm.store,
     }
 
 
@@ -295,6 +342,19 @@ def evaluate_gates(results: dict) -> dict:
         "value": warm_cache["misses"],
         "passed": warm_cache["misses"] == 0 and warm_cache["hits"] > 0,
     }
+    warm_store = results["store"]["warm_store"]
+    gates["warm_store_fully_served"] = {
+        "threshold": 0,
+        "value": warm_store["misses"],
+        "passed": warm_store["misses"] == 0,
+    }
+    gates["warm_store_cross_process_hits"] = {
+        # The memory tier was cleared between passes, so every warm hit
+        # must come from the on-disk tier — the cross-process contract.
+        "threshold": 1,
+        "value": warm_store["disk_hits"],
+        "passed": warm_store["disk_hits"] >= 1,
+    }
     shards = results["readout_shards"]
     if shards["gate_enforced"]:
         gates[f"readout_shard_speedup@{READOUT_SHARD_COUNT}"] = {
@@ -309,9 +369,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_pr6.json",
+        default="BENCH_pr7.json",
         metavar="PATH",
-        help="where to write the JSON summary (default: ./BENCH_pr6.json)",
+        help="where to write the JSON summary (default: ./BENCH_pr7.json)",
     )
     parser.add_argument(
         "--series",
@@ -325,9 +385,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--label",
-        default="pr6",
+        default="pr7",
         metavar="NAME",
-        help="series label of this entry (default: pr6)",
+        help="series label of this entry (default: pr7)",
     )
     args = parser.parse_args(argv)
 
@@ -335,6 +395,7 @@ def main(argv=None) -> int:
         "generators": measure_generators(),
         "kernel": measure_kernel(),
         "sweep_cache": measure_sweep_cache(),
+        "store": measure_store(),
         "readout_shards": measure_readout_shards(),
     }
     gates = evaluate_gates(results)

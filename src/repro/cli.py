@@ -145,6 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     cluster.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "attach the shared content-addressed compute store rooted at "
+            "DIR: spectral decompositions and stage/shard checkpoints are "
+            "served from and published to it, so repeat runs (from any "
+            "process) become disk hits; results are bit-identical either "
+            "way (default: no shared store)"
+        ),
+    )
+    cluster.add_argument(
         "--draw-threads",
         type=int,
         default=None,
@@ -284,10 +296,46 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     experiments.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "shared content-addressed store for every selected sweep: "
+            "worker processes publish spectral entries to DIR and a warm "
+            "re-run serves them as cross-process disk hits (recorded in "
+            "the artifacts' store counters; records are bit-identical "
+            "either way; default: no shared store)"
+        ),
+    )
+    experiments.add_argument(
         "--out",
         default="artifacts",
         metavar="DIR",
         help="directory for the JSON artifacts (default: ./artifacts)",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect the shared content-addressed compute store",
+    )
+    store.add_argument(
+        "action",
+        choices=("stats", "verify", "gc"),
+        help=(
+            "stats: tier occupancy per namespace; verify: integrity-check "
+            "every entry (exit 1 if any is corrupt); gc: remove corrupt "
+            "entries and stale temp files, then enforce the byte budget"
+        ),
+    )
+    store.add_argument(
+        "--dir", required=True, metavar="DIR", help="store root directory"
+    )
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget for gc (default: the store's configured budget)",
     )
     return parser
 
@@ -310,6 +358,7 @@ def _cmd_cluster(args) -> int:
             shard_timeout=args.shard_timeout,
             shard_retries=args.shard_retries,
             shard_workers=args.shard_workers,
+            store_dir=args.store_dir,
             draw_threads=args.draw_threads,
             theta=args.theta,
             seed=args.seed,
@@ -464,6 +513,8 @@ def _cmd_experiments(args) -> int:
             factory_kwargs["generator_version"] = args.generator_version
         if args.readout_shards is not None:
             factory_kwargs["readout_shards"] = args.readout_shards
+        if args.store_dir is not None:
+            factory_kwargs["store_dir"] = args.store_dir
         spec = specs[name](**factory_kwargs)
         if args.trials is not None:
             spec = spec.with_updates(trials=args.trials)
@@ -476,8 +527,47 @@ def _cmd_experiments(args) -> int:
             f"{result.elapsed_seconds:.2f}s (jobs={result.jobs}, "
             f"cache hits={cache['hits']} misses={cache['misses']}) -> {path}"
         )
+        if args.store_dir is not None:
+            store = result.store
+            print(
+                f"{'':{len(name)}s}  store disk_hits={store['disk_hits']} "
+                f"memory_hits={store['memory_hits']} "
+                f"misses={store['misses']}"
+            )
         if artifact["table"]:
             print(artifact["table"])
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.store import ContentStore
+
+    store = ContentStore(root=args.dir)
+    if args.action == "stats":
+        report = store.disk_report()
+        print(f"root: {store.root}")
+        print(f"entries: {report['entries']}")
+        print(f"bytes: {report['bytes']}")
+        for namespace in sorted(report["namespaces"]):
+            row = report["namespaces"][namespace]
+            print(
+                f"  {namespace:9s} {row['entries']:6d} entries  "
+                f"{row['bytes']:12d} bytes"
+            )
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"checked: {report['checked']}  ok: {report['ok']}")
+        for path in report["corrupt"]:
+            print(f"corrupt: {path}")
+        return 1 if report["corrupt"] else 0
+    report = store.gc(max_bytes=args.max_bytes)
+    print(
+        f"corrupt removed: {report['corrupt_removed']}  "
+        f"temp files removed: {report['temp_removed']}  "
+        f"evicted: {report['evicted']}"
+    )
+    print(f"entries: {report['entries']}  bytes: {report['bytes']}")
     return 0
 
 
@@ -487,6 +577,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "spectrum": _cmd_spectrum,
     "experiments": _cmd_experiments,
+    "store": _cmd_store,
 }
 
 

@@ -67,6 +67,15 @@ class QSCConfig:
         per shard regardless of core count would oversubscribe the host
         at high shard counts.  Worker concurrency never changes results
         (shards merge in index order).  Exposed as ``--shard-workers``.
+    store_dir:
+        Root directory of the shared content-addressed compute store
+        (:mod:`repro.store`).  ``None`` (default) keeps the store
+        memory-only (per process); a path attaches the on-disk tier, so
+        spectral eigendecompositions / QPE kernels and stage/shard
+        checkpoints written by *any* process serve later runs as disk
+        hits.  Purely an execution knob: a warm store is bit-transparent
+        (hit or miss, outputs are identical) and the field never enters
+        checkpoint fingerprints.  Exposed on the CLI as ``--store-dir``.
     draw_threads:
         Thread count for the readout pipeline's per-row RNG draw stages
         (tomography magnitudes/phases and amplitude estimation).  Row
@@ -126,6 +135,7 @@ class QSCConfig:
     shard_retries: int = 2
     shard_failure_mode: str = "raise"
     shard_workers: int | None = None
+    store_dir: str | None = None
     draw_threads: int | None = None
     generator_version: str = "v1"
     backend: str = "analytic"
@@ -173,6 +183,10 @@ class QSCConfig:
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ClusteringError(
                 f"shard_workers must be >= 1 or None, got {self.shard_workers}"
+            )
+        if self.store_dir is not None and not str(self.store_dir).strip():
+            raise ClusteringError(
+                "store_dir must be a non-empty path or None"
             )
         if self.draw_threads is not None and self.draw_threads < 1:
             raise ClusteringError(

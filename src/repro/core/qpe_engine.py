@@ -31,11 +31,11 @@ DESIGN.md).  Their agreement is property-tested.
 from __future__ import annotations
 
 import hashlib
-from collections import OrderedDict
 
 import numpy as np
 
 from repro.exceptions import ClusteringError
+from repro.store import DEFAULT_MEMORY_BYTES, ContentStore, get_store
 from repro.linalg import is_sparse_matrix, to_dense_array
 from repro.quantum.hamiltonian import (
     SpectralDecomposition,
@@ -62,7 +62,9 @@ DEFAULT_MAX_BATCH_COLUMNS = 64
 FORWARD_TABLE_CACHE_MAX_ENTRIES = 1 << 22
 # Default byte budget of the process-wide spectral cache below (~256 MiB of
 # eigendecompositions and QPE kernels; a 1024-node graph costs ~16 MiB).
-SPECTRAL_CACHE_MAX_BYTES = 256 << 20
+# This *is* the content store's memory-tier budget: the spectral cache is a
+# view over the store, so the two budgets are one and the same knob.
+SPECTRAL_CACHE_MAX_BYTES = DEFAULT_MEMORY_BYTES
 
 
 def laplacian_fingerprint(laplacian: np.ndarray) -> str:
@@ -82,92 +84,87 @@ def laplacian_fingerprint(laplacian: np.ndarray) -> str:
     return digest.hexdigest()
 
 
-class SpectralCache:
-    """Process-local LRU cache of eigendecompositions and QPE kernels.
+#: Store namespace of the spectral entries (eigendecompositions, kernels).
+SPECTRAL_NAMESPACE = "spectral"
 
-    Entries are keyed by Laplacian *content* (:func:`laplacian_fingerprint`)
-    — plus the ancilla count for kernels — so sweep points that vary only
-    shots, threshold or precision reuse the O(n³) eigendecomposition, and
-    points that vary only shots/threshold additionally reuse the QPE
-    response kernel.  The cache is bounded by total byte size
-    (``max_bytes``): least-recently-used entries are evicted first, and an
-    entry larger than the whole budget is simply not stored.
+
+class SpectralCache:
+    """Content-keyed cache of eigendecompositions and QPE kernels.
+
+    Since the shared compute tier landed this is a thin *view* over the
+    process-wide :class:`repro.store.ContentStore` (namespace
+    ``"spectral"``): entries are keyed by Laplacian content
+    (:func:`laplacian_fingerprint`) — plus the ancilla count for kernels —
+    so sweep points that vary only shots, threshold or precision reuse
+    the O(n³) eigendecomposition, and points that vary only
+    shots/threshold additionally reuse the QPE response kernel.  The
+    memory tier is a byte-bounded LRU exactly as before (an entry larger
+    than the whole budget is simply not kept resident), and when the
+    store has a disk root attached (``QSCConfig.store_dir`` /
+    ``--store-dir``) a fresh process serves repeat Laplacians from disk
+    instead of re-decomposing — the cross-process warm path.
 
     Cached arrays are marked read-only and shared between backend
     instances; callers must treat them as immutable (the backends do).
-    The cache is per process — parallel sweep workers each hold their own —
-    and is *transparent*: hit or miss, the numbers produced are identical.
+    The view is *transparent*: memory hit, disk hit or miss, the numbers
+    produced are identical (golden-pinned in ``tests/store/``).
+
+    The legacy counter shape is preserved: ``stats()["hits"]`` counts
+    memory and disk hits together, ``entries``/``bytes`` describe the
+    memory tier only.
     """
 
-    def __init__(self, max_bytes: int = SPECTRAL_CACHE_MAX_BYTES):
-        if max_bytes < 0:
-            raise ClusteringError(f"max_bytes must be >= 0, got {max_bytes}")
-        self.max_bytes = int(max_bytes)
-        self.enabled = True
-        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+    def __init__(self, store: ContentStore | None = None, max_bytes: int | None = None):
+        self._store = store if store is not None else get_store()
+        if max_bytes is not None:
+            self._store.configure(max_memory_bytes=max_bytes)
+
+    @property
+    def store(self) -> ContentStore:
+        """The backing content store."""
+        return self._store
+
+    @property
+    def max_bytes(self) -> int:
+        """Memory-tier byte budget (the store's ``max_memory_bytes``)."""
+        return self._store.max_memory_bytes
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups are served at all (store-wide switch)."""
+        return self._store.enabled
 
     # -- bookkeeping ------------------------------------------------------
 
     def stats(self) -> dict:
-        """Counters snapshot: hits, misses, evictions, entries, bytes."""
+        """Counters snapshot: hits, misses, evictions, entries, bytes.
+
+        ``hits`` merges memory- and disk-tier hits of the spectral
+        namespace; ``evictions`` counts memory-tier evictions (the legacy
+        meaning — disk evictions appear in the store's own stats).
+        """
+        stats = self._store.namespace_stats(SPECTRAL_NAMESPACE)
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-            "bytes": self._bytes,
+            "hits": stats["memory_hits"] + stats["disk_hits"],
+            "misses": stats["misses"],
+            "evictions": stats["memory_evictions"],
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
         }
 
     def clear(self, reset_stats: bool = True) -> None:
-        """Drop every entry (and by default zero the counters)."""
-        self._entries.clear()
-        self._bytes = 0
-        if reset_stats:
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+        """Drop the memory tier (and by default zero the counters).
+
+        Disk-tier entries survive — clearing simulates a fresh worker
+        process, which then serves repeat Laplacians as disk hits.
+        """
+        self._store.clear_memory(reset_stats=reset_stats)
 
     def configure(
         self, max_bytes: int | None = None, enabled: bool | None = None
     ) -> None:
-        """Adjust the byte budget and/or switch the cache off entirely."""
-        if max_bytes is not None:
-            if max_bytes < 0:
-                raise ClusteringError(f"max_bytes must be >= 0, got {max_bytes}")
-            self.max_bytes = int(max_bytes)
-            self._shrink()
-        if enabled is not None:
-            self.enabled = bool(enabled)
-
-    def _shrink(self) -> None:
-        while self._bytes > self.max_bytes and self._entries:
-            _, (arrays, nbytes) = self._entries.popitem(last=False)
-            self._bytes -= nbytes
-            self.evictions += 1
-
-    def _get(self, key: tuple, builder) -> tuple:
-        """LRU lookup of ``key``; on miss run ``builder`` and store."""
-        if not self.enabled:
-            return builder()
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached[0]
-        self.misses += 1
-        arrays = builder()
-        for array in arrays:
-            array.setflags(write=False)
-        nbytes = sum(array.nbytes for array in arrays)
-        if nbytes <= self.max_bytes:
-            self._entries[key] = (arrays, nbytes)
-            self._bytes += nbytes
-            self._shrink()
-        return arrays
+        """Adjust the memory byte budget and/or switch caching off."""
+        self._store.configure(max_memory_bytes=max_bytes, enabled=enabled)
 
     # -- the two cached products ------------------------------------------
 
@@ -184,9 +181,15 @@ class SpectralCache:
             if padded is None:
                 raise ClusteringError("spectral cache miss with no matrix to decompose")
             decomposition = SpectralDecomposition.of(padded)
-            return (decomposition.eigenvalues, decomposition.eigenvectors)
+            return {
+                "eigenvalues": decomposition.eigenvalues,
+                "eigenvectors": decomposition.eigenvectors,
+            }
 
-        return self._get(("decomposition", fingerprint), build)
+        payload = self._store.get_or_create(
+            SPECTRAL_NAMESPACE, f"decomposition@{fingerprint}", build
+        )
+        return payload["eigenvalues"], payload["eigenvectors"]
 
     def kernel(
         self,
@@ -208,14 +211,21 @@ class SpectralCache:
         """
 
         def build():
-            return (qpe_outcome_distributions(phases, precision_bits),)
+            return {"kernel": qpe_outcome_distributions(phases, precision_bits)}
 
-        return self._get(("kernel", fingerprint, int(precision_bits)), build)[0]
+        payload = self._store.get_or_create(
+            SPECTRAL_NAMESPACE,
+            f"kernel@{fingerprint}@p{int(precision_bits)}",
+            build,
+        )
+        return payload["kernel"]
 
 
 #: The process-wide spectral cache ``AnalyticQPEBackend`` (and the circuit
-#: backend's exact-evolution construction) consult.  Parallel sweep workers
-#: each own an independent instance of this module, hence their own cache.
+#: backend's exact-evolution construction) consult — a view over the
+#: process-wide content store, so attaching a ``store_dir`` makes repeat
+#: Laplacians cross-process disk hits.  Parallel sweep workers each own an
+#: independent memory tier but share the disk tier.
 SPECTRAL_CACHE = SpectralCache()
 
 
@@ -225,7 +235,7 @@ def spectral_cache_stats() -> dict:
 
 
 def clear_spectral_cache() -> None:
-    """Empty :data:`SPECTRAL_CACHE` and reset its counters."""
+    """Empty :data:`SPECTRAL_CACHE`'s memory tier and reset its counters."""
     SPECTRAL_CACHE.clear()
 
 

@@ -36,6 +36,13 @@ class ConvergenceError(ReproError):
     """An iterative solver exhausted its iteration budget without converging."""
 
 
+class StoreError(ClusteringError):
+    """The content-addressed compute store was misconfigured or an entry
+    is unusable.  Subclasses :class:`ClusteringError` because store-served
+    data (spectral entries, stage/shard checkpoints) flows straight into
+    the clustering pipeline, whose callers already catch that domain."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 

@@ -51,6 +51,7 @@ def _trial(
     shots,
     generator_version="v1",
     readout_shards=None,
+    store_dir=None,
 ) -> list[TrialRecord]:
     """One F1 trial: the full method panel on one cyclic-flow SBM."""
     strength = point["strength"]
@@ -70,6 +71,7 @@ def _trial(
         seed=seed,
         generator_version=generator_version,
         readout_shards=readout_shards,
+        store_dir=store_dir,
     )
     methods = standard_methods(num_clusters, seed, config)
     return evaluate_methods("F1", methods, graph, truth, {"strength": strength}, seed)
@@ -86,6 +88,7 @@ def spec(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
 ) -> SweepSpec:
     """The declarative F1 sweep (same knobs as :func:`run`).
 
@@ -112,6 +115,7 @@ def spec(
             "shots": shots,
             "generator_version": generator_version,
             "readout_shards": readout_shards,
+            "store_dir": store_dir,
         },
         render=series,
     )
@@ -128,6 +132,7 @@ def run(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F1 direction-strength sweep through the sweep engine."""
@@ -144,6 +149,7 @@ def run(
                 base_seed=base_seed,
                 generator_version=generator_version,
                 readout_shards=readout_shards,
+                store_dir=store_dir,
             ),
             jobs=jobs,
         )

@@ -88,6 +88,7 @@ def _trial(
     circuit_num_nodes,
     generator_version="v1",
     readout_shards=None,
+    store_dir=None,
 ) -> list[TrialRecord]:
     """One F2 trial: analytic fit + filter diagnostics (+ circuit check)."""
     precision = point["p"]
@@ -107,6 +108,7 @@ def _trial(
         seed=seed,
         generator_version=generator_version,
         readout_shards=readout_shards,
+        store_dir=store_dir,
     )
     pipeline = QSCPipeline(num_clusters, config)
     result = pipeline.run(graph)
@@ -141,6 +143,7 @@ def _trial(
             seed=seed,
             generator_version=generator_version,
             readout_shards=readout_shards,
+            store_dir=store_dir,
         )
         circuit_pipeline = QSCPipeline(num_clusters, circuit_config)
         circuit_labels = circuit_pipeline.run(small_graph).labels
@@ -168,6 +171,7 @@ def spec(
     circuit_num_nodes: int = 12,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
 ) -> SweepSpec:
     """The declarative F2 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -187,6 +191,7 @@ def spec(
             "circuit_num_nodes": circuit_num_nodes,
             "generator_version": generator_version,
             "readout_shards": readout_shards,
+            "store_dir": store_dir,
         },
         render=series,
     )
@@ -203,6 +208,7 @@ def run(
     circuit_num_nodes: int = 12,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F2 precision sweep through the sweep engine."""
@@ -219,6 +225,7 @@ def run(
                 circuit_num_nodes=circuit_num_nodes,
                 generator_version=generator_version,
                 readout_shards=readout_shards,
+                store_dir=store_dir,
             ),
             jobs=jobs,
         )

@@ -53,11 +53,13 @@ def _trial(
     shots,
     generator_version="v1",
     readout_shards=None,
+    store_dir=None,
 ) -> list[TrialRecord]:
     """Profile one sparse mixed SBM at the point's size.
 
-    ``readout_shards`` is accepted for CLI uniformity but inert: F3 models
-    quantum step counts instead of running the staged pipeline.
+    ``readout_shards`` and ``store_dir`` are accepted for CLI uniformity
+    but inert: F3 models quantum step counts instead of running the
+    staged pipeline.
     """
     num_nodes = point["n"]
     # keep the average degree constant so edges grow linearly with n
@@ -102,6 +104,7 @@ def spec(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
 ) -> SweepSpec:
     """The declarative F3 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -120,6 +123,7 @@ def spec(
             "shots": shots,
             "generator_version": generator_version,
             "readout_shards": readout_shards,
+            "store_dir": store_dir,
         },
         render=render_records,
     )
@@ -134,6 +138,7 @@ def run(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
     jobs: int = 1,
 ) -> list[RuntimeSample]:
     """Profile one sparse mixed SBM per size (constant average degree)."""
@@ -148,6 +153,7 @@ def run(
                 base_seed=base_seed,
                 generator_version=generator_version,
                 readout_shards=readout_shards,
+                store_dir=store_dir,
             ),
             jobs=jobs,
         )

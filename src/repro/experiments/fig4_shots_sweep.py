@@ -51,6 +51,7 @@ def _trial(
     precision_bits,
     generator_version="v1",
     readout_shards=None,
+    store_dir=None,
 ) -> list[TrialRecord]:
     """One F4 trial: noiseless reference fit + finite-shot fit."""
     shots = point["shots"]
@@ -71,6 +72,7 @@ def _trial(
             seed=seed,
             generator_version=generator_version,
             readout_shards=readout_shards,
+            store_dir=store_dir,
         ),
     )
     noiseless = reference.run(graph)
@@ -86,6 +88,7 @@ def _trial(
             seed=seed,
             generator_version=generator_version,
             readout_shards=readout_shards,
+            store_dir=store_dir,
         ),
     ).run(graph, resume_from="readout", upstream=reference.state)
     embedding_error = float(
@@ -114,6 +117,7 @@ def spec(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
 ) -> SweepSpec:
     """The declarative F4 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -131,6 +135,7 @@ def spec(
             "precision_bits": precision_bits,
             "generator_version": generator_version,
             "readout_shards": readout_shards,
+            "store_dir": store_dir,
         },
         render=series,
     )
@@ -145,6 +150,7 @@ def run(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F4 shots sweep through the sweep engine."""
@@ -159,6 +165,7 @@ def run(
                 base_seed=base_seed,
                 generator_version=generator_version,
                 readout_shards=readout_shards,
+                store_dir=store_dir,
             ),
             jobs=jobs,
         )

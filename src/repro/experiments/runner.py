@@ -53,6 +53,7 @@ from repro.pipeline.telemetry import (
     stage_totals,
     totals_delta,
 )
+from repro.store import COUNTER_KEYS as _STORE_COUNTERS, store_counters
 from repro.utils.rng import spawn_rngs
 
 #: Version tag of the JSON artifact layout written by :func:`write_artifact`.
@@ -185,6 +186,10 @@ class SweepResult:
     elapsed_seconds: float
     cache: dict
     profile: dict = field(default_factory=dict)
+    #: Content-store counter deltas (memory/disk hits, misses, evictions)
+    #: aggregated across all worker processes, same bracketing as ``cache``.
+    #: All zeros when no sweep touched the store.
+    store: dict = field(default_factory=dict)
 
     def rendered(self) -> str | None:
         """The spec's markdown rendering of the records (if it has one)."""
@@ -211,6 +216,10 @@ class SweepResult:
             "jobs": self.jobs,
             "elapsed_seconds": float(self.elapsed_seconds),
             "cache": {k: int(self.cache.get(k, 0)) for k in _CACHE_COUNTERS},
+            # Additive field: cross-process content-store traffic.  A warm
+            # ``--store-dir`` re-run shows nonzero ``disk_hits`` here — the
+            # counter the CI smoke and the trajectory gate assert on.
+            "store": {k: int(self.store.get(k, 0)) for k in _STORE_COUNTERS},
             "profile": {
                 stage: {
                     "seconds": float(entry.get("seconds", 0.0)),
@@ -268,19 +277,21 @@ def _record_dict(record: TrialRecord) -> dict:
 
 
 def _execute_task(spec: SweepSpec, task: SweepTask, rng) -> tuple:
-    """Run one task; returns (index, records, cache delta, profile delta).
+    """Run one task; returns (index, records, cache/store/profile deltas).
 
     Module-level so process-pool workers can unpickle it.  The spectral
-    cache delta and the per-stage pipeline telemetry delta are measured
-    *inside* the executing process, bracketing the trial call, so the
-    accounting is exact regardless of multiprocessing start method (fork
-    workers inherit nonzero counters, spawn workers start at zero — a
-    delta is correct either way).
+    cache delta, the content-store counter delta and the per-stage
+    pipeline telemetry delta are measured *inside* the executing process,
+    bracketing the trial call, so the accounting is exact regardless of
+    multiprocessing start method (fork workers inherit nonzero counters,
+    spawn workers start at zero — a delta is correct either way).
     """
     before = spectral_cache_stats()
+    store_before = store_counters()
     stages_before = stage_totals()
     records = list(spec.trial(task.point, task.trial, task.seed, rng, **spec.fixed))
     after = spectral_cache_stats()
+    store_after = store_counters()
     stages_after = stage_totals()
     for record in records:
         if not isinstance(record, TrialRecord):
@@ -289,7 +300,17 @@ def _execute_task(spec: SweepSpec, task: SweepTask, rng) -> tuple:
                 "expected TrialRecord"
             )
     delta = {key: after.get(key, 0) - before.get(key, 0) for key in _CACHE_COUNTERS}
-    return task.index, records, delta, totals_delta(stages_before, stages_after)
+    store_delta = {
+        key: store_after.get(key, 0) - store_before.get(key, 0)
+        for key in _STORE_COUNTERS
+    }
+    return (
+        task.index,
+        records,
+        delta,
+        store_delta,
+        totals_delta(stages_before, stages_after),
+    )
 
 
 class SweepRunner:
@@ -339,11 +360,14 @@ class SweepRunner:
         elapsed = time.perf_counter() - start
         by_index: dict[int, list] = {}
         cache = {key: 0 for key in _CACHE_COUNTERS}
+        store = {key: 0 for key in _STORE_COUNTERS}
         profile: dict = {}
-        for index, records, delta, stage_delta in outcomes:
+        for index, records, delta, store_delta, stage_delta in outcomes:
             by_index[index] = records
             for key in _CACHE_COUNTERS:
                 cache[key] += delta[key]
+            for key in _STORE_COUNTERS:
+                store[key] += store_delta[key]
             merge_totals(profile, stage_delta)
         records = [record for index in sorted(by_index) for record in by_index[index]]
         return SweepResult(
@@ -353,6 +377,7 @@ class SweepRunner:
             elapsed_seconds=elapsed,
             cache=cache,
             profile=profile,
+            store=store,
         )
 
 
@@ -399,6 +424,19 @@ def validate_artifact(artifact: dict) -> dict:
     for counter in _CACHE_COUNTERS:
         if not isinstance(artifact["cache"].get(counter), int):
             raise ExperimentError(f"artifact cache counter {counter!r} missing")
+    store = artifact.get("store")
+    if store is not None:
+        # Additive field (schema unchanged): content-store counter deltas.
+        # Artifacts written before the shared store stay valid; when the
+        # field is present every counter must be an integer so the CI
+        # warm-store assertion cannot silently read garbage.
+        if not isinstance(store, dict):
+            raise ExperimentError("artifact store must be an object")
+        for counter in _STORE_COUNTERS:
+            if not isinstance(store.get(counter), int):
+                raise ExperimentError(
+                    f"artifact store counter {counter!r} missing or mistyped"
+                )
     profile = artifact.get("profile")
     if profile is not None:
         # Additive field (schema unchanged): per-stage pipeline telemetry.

@@ -48,6 +48,7 @@ def _trial(
     shots,
     generator_version="v1",
     readout_shards=None,
+    store_dir=None,
 ) -> list[TrialRecord]:
     """One T1 trial: the full method panel on one mixed SBM instance."""
     num_nodes, num_clusters = point["n"], point["k"]
@@ -66,6 +67,7 @@ def _trial(
         seed=seed,
         generator_version=generator_version,
         readout_shards=readout_shards,
+        store_dir=store_dir,
     )
     methods = standard_methods(num_clusters, seed, config)
     return evaluate_methods(
@@ -87,6 +89,7 @@ def spec(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
 ) -> SweepSpec:
     """The declarative T1 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -106,6 +109,7 @@ def spec(
             "shots": shots,
             "generator_version": generator_version,
             "readout_shards": readout_shards,
+            "store_dir": store_dir,
         },
         render=table,
     )
@@ -120,6 +124,7 @@ def run(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the T1 sweep and return one record per (method, instance)."""
@@ -134,6 +139,7 @@ def run(
                 base_seed=base_seed,
                 generator_version=generator_version,
                 readout_shards=readout_shards,
+                store_dir=store_dir,
             ),
             jobs=jobs,
         )

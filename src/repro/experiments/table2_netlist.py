@@ -54,6 +54,7 @@ def _trial(
     shots,
     generator_version="v1",
     readout_shards=None,
+    store_dir=None,
 ) -> list[TrialRecord]:
     """One T2 trial: the method panel on one synthetic netlist instance."""
     num_modules = point["modules"]
@@ -74,6 +75,7 @@ def _trial(
         theta=NETLIST_THETA,
         seed=seed,
         readout_shards=readout_shards,
+        store_dir=store_dir,
     )
     methods = standard_methods(num_modules, seed, config, theta=NETLIST_THETA)
     return evaluate_methods(
@@ -95,6 +97,7 @@ def spec(
     base_seed: int = DEFAULT_BASE_SEED,
     generator_version: str = "v1",
     readout_shards: int | None = None,
+    store_dir: str | None = None,
 ) -> SweepSpec:
     """The declarative T2 sweep (same knobs as :func:`run`).
 
@@ -118,6 +121,7 @@ def spec(
             "shots": shots,
             "generator_version": generator_version,
             "readout_shards": readout_shards,
+            "store_dir": store_dir,
         },
         render=table,
     )

@@ -35,8 +35,31 @@ from repro.exceptions import ClusteringError
 #: Version tag stored inside every stage checkpoint archive.
 CHECKPOINT_VERSION = 2
 
+#: Content-store namespaces of stage and shard checkpoint entries (see
+#: :mod:`repro.store`): the pipeline and the sharded-readout path resolve
+#: checkpoints through the store when one is attached, with the per-run
+#: ``.npz`` directories kept as a compatibility alias.
+STAGE_NAMESPACE = "stage"
+SHARD_NAMESPACE = "shard"
+
 _VERSION_KEY = "__checkpoint_version__"
 _CONTEXT_KEY = "__context_fingerprint__"
+
+
+class CorruptCheckpointError(ClusteringError):
+    """A checkpoint file exists but cannot be read back (bit flips,
+    truncation, a crashed writer).  Distinct from a *missing* checkpoint
+    — consumers evict the corrupt file and recompute the stage/shard
+    instead of serving or propagating bad bits."""
+
+
+def store_key(stage_name: str, fingerprint: str) -> str:
+    """Content-store key of one stage/shard checkpoint entry.
+
+    Embeds :data:`CHECKPOINT_VERSION` so a format bump naturally misses
+    every entry written under the old layout instead of misreading it.
+    """
+    return f"v{CHECKPOINT_VERSION}:{stage_name}@{fingerprint}"
 
 
 def graph_fingerprint(graph) -> str:
@@ -107,8 +130,21 @@ def load_stage_payload(directory, stage_name: str, fingerprint: str = "") -> dic
             f"no checkpoint for stage {stage_name!r} in {path.parent} — "
             f"run with save_stages first"
         )
-    with np.load(path) as archive:
-        payload = {key: archive[key] for key in archive.files}
+    try:
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+    except ClusteringError:
+        raise
+    except Exception as error:
+        # The zip layer CRC-checks every member, so bit flips, truncation
+        # and half-written files all surface here (as BadZipFile,
+        # zlib.error, OSError, ...).  Anything unreadable is corruption:
+        # report it as such so callers evict and recompute rather than
+        # abort on, or worse silently trust, a damaged file.
+        raise CorruptCheckpointError(
+            f"checkpoint {path} is corrupt or truncated ({error}); "
+            "delete it (or let the pipeline recompute the stage)"
+        ) from error
     version = int(payload.pop(_VERSION_KEY, -1))
     if version != CHECKPOINT_VERSION:
         raise ClusteringError(
@@ -128,3 +164,18 @@ def load_stage_payload(directory, stage_name: str, fingerprint: str = "") -> dic
 def has_stage_checkpoint(directory, stage_name: str) -> bool:
     """Whether ``directory`` holds a checkpoint for ``stage_name``."""
     return stage_path(directory, stage_name).exists()
+
+
+def evict_stage_checkpoint(directory, stage_name: str) -> bool:
+    """Remove one stage's checkpoint file; ``True`` if something was removed.
+
+    The self-heal half of :class:`CorruptCheckpointError`: a corrupt file
+    left in place would fail every subsequent resume, so consumers evict
+    it, recompute, and (when saving) write a fresh replacement.
+    """
+    path = stage_path(directory, stage_name)
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False

@@ -36,6 +36,7 @@ from repro.exceptions import ClusteringError
 from repro.pipeline import checkpoint, telemetry
 from repro.pipeline.stage import StageContext
 from repro.pipeline.stages import STAGE_NAMES, build_stages
+from repro.store import active_store, configure_store
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 #: Names of the per-stage RNG streams, in spawn order (the historical
@@ -113,6 +114,17 @@ class QSCPipeline:
             reuse instead of reading checkpoints — the zero-copy resume
             the experiment sweeps use.
 
+        Notes
+        -----
+        When the config carries ``store_dir`` (or a shared content store
+        is already attached — see :mod:`repro.store`), checkpoints also
+        resolve *through the store*: every cleanly computed stage is
+        published under its context fingerprint, resuming falls back to
+        the store when the run directory lacks (or holds a corrupt copy
+        of) a stage file, and a corrupt run-dir checkpoint is evicted and
+        recomputed instead of aborting the resume.  Per-run directories
+        keep working unchanged as a compatibility alias.
+
         Returns
         -------
         :class:`~repro.core.result.QSCResult` with ``result.profile``
@@ -134,10 +146,17 @@ class QSCPipeline:
             resume_index = STAGE_NAMES.index(resume_from)
         if stages_dir is None:
             stages_dir = save_stages
-        if resume_index > 0 and upstream is None and stages_dir is None:
+        # A config carrying ``store_dir`` attaches the shared content
+        # store for this (worker) process — the mechanism that makes the
+        # store propagate under any multiprocessing start method.
+        if cfg.store_dir is not None:
+            configure_store(root=cfg.store_dir)
+        store = active_store()
+        if resume_index > 0 and upstream is None and stages_dir is None and store is None:
             raise ClusteringError(
                 f"resume_from={resume_from!r} needs checkpoints: pass "
-                "stages_dir/save_stages or an in-memory upstream state"
+                "stages_dir/save_stages, a store_dir, or an in-memory "
+                "upstream state"
             )
         if resume_index > 0 and upstream is not None:
             blocked = [
@@ -183,17 +202,47 @@ class QSCPipeline:
                 stage.fingerprint_fields,
             )
             ctx.fingerprint = fingerprint
+            values = None
+            source = "computed"
             if index < resume_index:
                 if upstream is not None:
                     values = {key: upstream[key] for key in stage.provides}
                     source = "reused"
                 else:
-                    payload = checkpoint.load_stage_payload(
-                        stages_dir, stage.name, fingerprint
-                    )
-                    values = stage.unpack(payload, ctx)
-                    source = "checkpoint"
-            else:
+                    payload = None
+                    corrupt = False
+                    if stages_dir is not None and checkpoint.has_stage_checkpoint(
+                        stages_dir, stage.name
+                    ):
+                        try:
+                            payload = checkpoint.load_stage_payload(
+                                stages_dir, stage.name, fingerprint
+                            )
+                        except checkpoint.CorruptCheckpointError:
+                            # Corrupt checkpoints are evicted and the
+                            # stage recomputed — damaged bits are never
+                            # served, and the rewrite below heals the file.
+                            checkpoint.evict_stage_checkpoint(
+                                stages_dir, stage.name
+                            )
+                            corrupt = True
+                    if payload is None and store is not None:
+                        payload = store.get(
+                            checkpoint.STAGE_NAMESPACE,
+                            checkpoint.store_key(stage.name, fingerprint),
+                        )
+                    if payload is not None:
+                        values = stage.unpack(payload, ctx)
+                        source = "checkpoint"
+                    elif not corrupt and store is None:
+                        # The classic contract: resuming over a plainly
+                        # missing run-dir checkpoint (no store attached to
+                        # fall back on) is a hard error, not a silent
+                        # recompute.  This call raises it.
+                        checkpoint.load_stage_payload(
+                            stages_dir, stage.name, fingerprint
+                        )
+            if values is None:
                 values = stage.execute(ctx)
                 source = "computed"
                 if ctx.incomplete_shards:
@@ -205,10 +254,18 @@ class QSCPipeline:
                 # completed shard files remain, so a later resume
                 # recomputes only what is actually missing instead of
                 # silently inheriting zero rows.
-                if save_stages is not None and not degraded:
-                    checkpoint.save_stage_payload(
-                        save_stages, stage.name, stage.pack(values), fingerprint
-                    )
+                if not degraded and (save_stages is not None or store is not None):
+                    packed = stage.pack(values)
+                    if save_stages is not None:
+                        checkpoint.save_stage_payload(
+                            save_stages, stage.name, packed, fingerprint
+                        )
+                    if store is not None:
+                        store.put(
+                            checkpoint.STAGE_NAMESPACE,
+                            checkpoint.store_key(stage.name, fingerprint),
+                            packed,
+                        )
             seconds = time.perf_counter() - start
             cache_after = spectral_cache_stats()
             ctx.state.update(values)

@@ -46,6 +46,7 @@ from repro.pipeline.supervisor import (
     ShardTask,
 )
 from repro.pipeline.telemetry import ShardReport
+from repro.store import active_store
 from repro.utils.rng import spawn_rngs
 
 
@@ -245,6 +246,7 @@ def sharded_readout(
     row_rngs = spawn_rngs(rng, num_rows)
     options = {"chunk_size": chunk_size, "draw_threads": draw_threads}
 
+    store = active_store()
     payloads: dict[int, dict] = {}
     reports: dict[int, ShardReport] = {}
     tasks = []
@@ -253,13 +255,27 @@ def sharded_readout(
             context_fingerprint, num_rows, shard_count, shard
         )
         name = shard_checkpoint_name(stage_name, shard.index)
+        load_start = time.perf_counter()
+        payload = None
         if checkpoint_dir is not None and checkpoint.has_stage_checkpoint(
             checkpoint_dir, name
         ):
-            load_start = time.perf_counter()
-            payload = checkpoint.load_stage_payload(
-                checkpoint_dir, name, fingerprint
+            try:
+                payload = checkpoint.load_stage_payload(
+                    checkpoint_dir, name, fingerprint
+                )
+            except checkpoint.CorruptCheckpointError:
+                # A corrupt shard file is evicted and *only this shard*
+                # recomputed — the sibling checkpoints stay trusted, so
+                # a damaged entry costs one shard, never the stage.
+                checkpoint.evict_stage_checkpoint(checkpoint_dir, name)
+        if payload is None and store is not None:
+            # Shared-store resolution: a shard computed by any process
+            # under this exact context/layout fingerprint serves here.
+            payload = store.get(
+                checkpoint.SHARD_NAMESPACE, checkpoint.store_key(name, fingerprint)
             )
+        if payload is not None:
             payloads[shard.index] = {
                 "rows": np.asarray(payload["rows"], dtype=complex),
                 "norms": np.asarray(payload["norms"], dtype=float),
@@ -300,18 +316,25 @@ def sharded_readout(
             # Checkpoint the moment a shard succeeds: completed work
             # survives both a later shard aborting the run and a parent
             # crash, which is what makes crash-resume recompute only the
-            # genuinely missing shards.
-            if save_dir is None:
+            # genuinely missing shards.  The shared store is written too
+            # (when attached), so the shard also serves sibling processes.
+            if save_dir is None and store is None:
                 return
             shard = layout[outcome.index]
-            checkpoint.save_stage_payload(
-                save_dir,
-                shard_checkpoint_name(stage_name, shard.index),
-                outcome.value,
-                shard_fingerprint(
-                    context_fingerprint, num_rows, shard_count, shard
-                ),
+            name = shard_checkpoint_name(stage_name, shard.index)
+            fingerprint = shard_fingerprint(
+                context_fingerprint, num_rows, shard_count, shard
             )
+            if save_dir is not None:
+                checkpoint.save_stage_payload(
+                    save_dir, name, outcome.value, fingerprint
+                )
+            if store is not None:
+                store.put(
+                    checkpoint.SHARD_NAMESPACE,
+                    checkpoint.store_key(name, fingerprint),
+                    outcome.value,
+                )
 
         outcomes = supervisor.run(tasks, on_complete=persist)
         for shard in layout:

@@ -1,0 +1,42 @@
+"""Shared content-addressed compute store (memory LRU + on-disk tier).
+
+See :mod:`repro.store.content_store` for the design; the public surface
+is re-exported here:
+
+* :class:`ContentStore` — the two-tier store itself;
+* :func:`get_store` / :func:`active_store` / :func:`configure_store` —
+  the process-wide instance the spectral cache and checkpoint paths
+  share (``QSCConfig.store_dir`` / ``--store-dir`` configure it);
+* :func:`store_counters` / :func:`store_stats` — counter snapshots (the
+  sweep runner brackets :func:`store_counters` deltas per task).
+"""
+
+from repro.store.content_store import (
+    COUNTER_KEYS,
+    DEFAULT_DISK_BYTES,
+    DEFAULT_MEMORY_BYTES,
+    ContentStore,
+    active_store,
+    configure_store,
+    content_key,
+    decode_payload,
+    encode_payload,
+    get_store,
+    store_counters,
+    store_stats,
+)
+
+__all__ = [
+    "COUNTER_KEYS",
+    "DEFAULT_DISK_BYTES",
+    "DEFAULT_MEMORY_BYTES",
+    "ContentStore",
+    "active_store",
+    "configure_store",
+    "content_key",
+    "decode_payload",
+    "encode_payload",
+    "get_store",
+    "store_counters",
+    "store_stats",
+]

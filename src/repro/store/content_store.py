@@ -1,0 +1,642 @@
+"""The shared content-addressed compute store.
+
+:class:`ContentStore` is the persistence tier underneath every cached
+computation in the repo: spectral eigendecompositions and QPE kernels
+(:mod:`repro.core.qpe_engine` keeps ``SPECTRAL_CACHE`` as a thin view over
+it), whole stage checkpoints, and per-shard readout checkpoints
+(:mod:`repro.pipeline.pipeline` / :mod:`repro.pipeline.sharding` resolve
+through it, with classic per-run directories kept as a compatibility
+alias).  Entries are **content-addressed**: the key of an entry is derived
+from fingerprints of everything its payload depends on (Laplacian bytes,
+run-context digests, shard layout), so a warm store can serve repeat
+traffic across a fleet of worker processes and never serve stale bits.
+
+Two tiers:
+
+* an **in-memory LRU tier** (per process) bounded by ``max_memory_bytes``
+  — the moral successor of the PR 3 spectral cache, still serving
+  read-only shared arrays on process-local repeat lookups;
+* an optional **on-disk tier** (shared between processes) bounded by
+  ``max_disk_bytes``, attached with :meth:`ContentStore.attach` or the
+  module-level :func:`configure_store` (what ``QSCConfig.store_dir`` /
+  ``--store-dir`` call).
+
+Failure behavior is the contract (tested in ``tests/store/``):
+
+* **atomic writes** — payloads land in a temp file in the final entry's
+  directory and are published with :func:`os.replace`; a writer crashing
+  mid-put leaves a stale temp file (reaped by :meth:`gc`), never a
+  half-written entry;
+* **integrity-checked reads** — every entry carries a blake2b digest of
+  its payload bytes plus its own (namespace, key) identity; a corrupt,
+  truncated or misplaced entry is detected on read, evicted, counted in
+  ``corrupt_evictions`` and recomputed — wrong bits are never served;
+* **locked eviction** — byte-budget enforcement and :meth:`gc` take an
+  exclusive ``flock`` on ``<root>/.lock`` so concurrent workers never
+  race each other's eviction sweeps (readers need no lock: whole-file
+  reads of an atomically-replaced file are torn-proof, and an entry
+  unlinked mid-read simply reads as a miss).
+
+The store is deliberately *transparent*: hit or miss, memory or disk, the
+arrays handed back are bit-identical to recomputation — golden-pinned in
+``tests/store/test_store_golden.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pathlib
+import re
+import tempfile
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.exceptions import StoreError
+
+try:  # POSIX file locking; the store degrades to lockless on other OSes.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+#: Magic prefix of every on-disk entry (8 bytes, versioned).
+MAGIC = b"RCAS0001"
+#: Default byte budget of the in-memory LRU tier (~256 MiB).
+DEFAULT_MEMORY_BYTES = 256 << 20
+#: Default byte budget of the on-disk tier (~2 GiB).
+DEFAULT_DISK_BYTES = 2 << 30
+#: Monotonic counters every namespace tracks (deltas are meaningful, so
+#: the sweep runner brackets them per task exactly like cache counters).
+COUNTER_KEYS = (
+    "memory_hits",
+    "disk_hits",
+    "misses",
+    "memory_evictions",
+    "disk_evictions",
+    "corrupt_evictions",
+)
+
+#: File suffix of on-disk entries.
+_ENTRY_SUFFIX = ".cas"
+#: Prefix of in-flight temp files (same directory as their entry).
+_TMP_PREFIX = ".tmp-"
+#: Payload field carrying the entry's own (namespace, key) identity.
+_ENTRY_KEY = "__store_entry__"
+
+_DIGEST_BYTES = 16
+_HEADER_BYTES = len(MAGIC) + 2 * _DIGEST_BYTES
+_NAMESPACE_RE = re.compile(r"^[a-z0-9_-]+$")
+
+
+def content_key(namespace: str, key: str) -> str:
+    """Stable 32-hex address of one ``(namespace, key)`` pair.
+
+    Keys are arbitrary strings (fingerprints, composite ``name@digest``
+    forms); hashing them keeps every on-disk filename fixed-width and
+    path-safe regardless of what callers embed in the key.
+    """
+    digest = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    digest.update(namespace.encode())
+    digest.update(b"\x00")
+    digest.update(key.encode())
+    return digest.hexdigest()
+
+
+def _entry_identity(namespace: str, key: str) -> str:
+    return f"{namespace}\x00{key}"
+
+
+def encode_payload(namespace: str, key: str, payload: dict) -> bytes:
+    """Serialize a payload into the checksummed on-disk entry format.
+
+    Layout: ``MAGIC`` (8 bytes) + blake2b-16 hex digest of the body (32
+    ASCII bytes) + the body (an uncompressed ``.npz`` archive of the
+    payload arrays plus the entry's own identity).  The digest covers the
+    *entire* body, so any bit flip or truncation is detected before numpy
+    ever parses the archive.
+    """
+    arrays = {name: np.asarray(value) for name, value in payload.items()}
+    arrays[_ENTRY_KEY] = np.asarray(_entry_identity(namespace, key))
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    body = buffer.getvalue()
+    digest = hashlib.blake2b(body, digest_size=_DIGEST_BYTES)
+    return MAGIC + digest.hexdigest().encode("ascii") + body
+
+
+def decode_payload(blob: bytes, namespace: str | None = None, key: str | None = None) -> dict:
+    """Parse and integrity-check one on-disk entry; raises :class:`StoreError`.
+
+    Verifies, in order: the magic header, the payload digest, archive
+    readability, and — when ``namespace``/``key`` are given — that the
+    entry actually belongs to the requested address (a guard against
+    renamed or cross-linked entry files).  Any failure raises
+    :class:`~repro.exceptions.StoreError`; callers evict and recompute.
+    """
+    if len(blob) < _HEADER_BYTES or blob[: len(MAGIC)] != MAGIC:
+        raise StoreError("store entry is truncated or has a bad header")
+    stored = blob[len(MAGIC) : _HEADER_BYTES]
+    body = blob[_HEADER_BYTES:]
+    actual = hashlib.blake2b(body, digest_size=_DIGEST_BYTES).hexdigest()
+    if actual.encode("ascii") != stored:
+        raise StoreError("store entry failed its integrity checksum")
+    try:
+        with np.load(io.BytesIO(body), allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+    except Exception as error:  # any unreadable archive is corruption
+        raise StoreError(f"store entry payload is unreadable: {error}") from error
+    identity = str(payload.pop(_ENTRY_KEY, ""))
+    if namespace is not None and identity != _entry_identity(namespace, key):
+        raise StoreError("store entry belongs to a different namespace/key")
+    return payload
+
+
+def _payload_nbytes(payload: dict) -> int:
+    return int(sum(np.asarray(value).nbytes for value in payload.values()))
+
+
+class ContentStore:
+    """Two-tier (memory LRU + shared disk) content-addressed store.
+
+    Parameters
+    ----------
+    root:
+        Directory of the shared on-disk tier; ``None`` (default) runs
+        memory-only.  Created on attach if needed.
+    max_memory_bytes:
+        Byte budget of the in-memory LRU tier; least-recently-used
+        entries are evicted first, and an entry larger than the whole
+        budget is simply not kept resident.
+    max_disk_bytes:
+        Byte budget of the on-disk tier, enforced under an exclusive
+        file lock after writes (oldest-``mtime`` entries evicted first;
+        reads bump ``mtime``, so this approximates cross-process LRU).
+    """
+
+    def __init__(
+        self,
+        root=None,
+        max_memory_bytes: int = DEFAULT_MEMORY_BYTES,
+        max_disk_bytes: int = DEFAULT_DISK_BYTES,
+    ):
+        self.max_memory_bytes = 0
+        self.max_disk_bytes = 0
+        self.enabled = True
+        self._root: pathlib.Path | None = None
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bytes = 0
+        self._counters: dict[str, dict] = {}
+        self.configure(
+            max_memory_bytes=max_memory_bytes, max_disk_bytes=max_disk_bytes
+        )
+        if root is not None:
+            self.attach(root)
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def root(self) -> pathlib.Path | None:
+        """Directory of the on-disk tier, or ``None`` when memory-only."""
+        return self._root
+
+    def attach(self, root, max_disk_bytes: int | None = None) -> None:
+        """Attach (and create if needed) the shared on-disk tier."""
+        path = pathlib.Path(root)
+        path.mkdir(parents=True, exist_ok=True)
+        self._root = path
+        if max_disk_bytes is not None:
+            self.configure(max_disk_bytes=max_disk_bytes)
+
+    def detach(self) -> None:
+        """Drop the on-disk tier (files stay on disk; memory tier stays)."""
+        self._root = None
+
+    def configure(
+        self,
+        max_memory_bytes: int | None = None,
+        max_disk_bytes: int | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        """Adjust byte budgets and/or switch the store off entirely."""
+        if max_memory_bytes is not None:
+            if max_memory_bytes < 0:
+                raise StoreError(
+                    f"max_bytes must be >= 0, got {max_memory_bytes}"
+                )
+            self.max_memory_bytes = int(max_memory_bytes)
+            self._shrink_memory()
+        if max_disk_bytes is not None:
+            if max_disk_bytes < 0:
+                raise StoreError(f"max_bytes must be >= 0, got {max_disk_bytes}")
+            self.max_disk_bytes = int(max_disk_bytes)
+        if enabled is not None:
+            self.enabled = bool(enabled)
+
+    # -- counters ----------------------------------------------------------
+
+    def _count(self, namespace: str, counter: str, amount: int = 1) -> None:
+        bucket = self._counters.setdefault(
+            namespace, {key: 0 for key in COUNTER_KEYS}
+        )
+        bucket[counter] += amount
+
+    def counters(self) -> dict:
+        """Flat monotonic counter totals across every namespace.
+
+        Deltas of this dict are meaningful across any code region — the
+        sweep runner brackets them per task (inside the executing worker
+        process) exactly like the spectral-cache counters.
+        """
+        totals = {key: 0 for key in COUNTER_KEYS}
+        for bucket in self._counters.values():
+            for key in COUNTER_KEYS:
+                totals[key] += bucket[key]
+        return totals
+
+    def namespace_stats(self, namespace: str) -> dict:
+        """Counters plus memory-tier occupancy of one namespace."""
+        bucket = self._counters.get(namespace, {key: 0 for key in COUNTER_KEYS})
+        stats = dict(bucket)
+        entries = 0
+        nbytes = 0
+        for (ns, _), (_, size) in self._entries.items():
+            if ns == namespace:
+                entries += 1
+                nbytes += size
+        stats["entries"] = entries
+        stats["bytes"] = nbytes
+        return stats
+
+    def stats(self) -> dict:
+        """Full snapshot: budgets, per-namespace counters, tier occupancy."""
+        return {
+            "root": None if self._root is None else str(self._root),
+            "enabled": self.enabled,
+            "max_memory_bytes": self.max_memory_bytes,
+            "max_disk_bytes": self.max_disk_bytes,
+            "memory": {"entries": len(self._entries), "bytes": self._bytes},
+            "namespaces": {
+                namespace: dict(bucket)
+                for namespace, bucket in sorted(self._counters.items())
+            },
+            "totals": self.counters(),
+        }
+
+    def clear_memory(self, reset_stats: bool = True) -> None:
+        """Drop the memory tier (and by default zero every counter).
+
+        Disk entries survive — this is exactly what a fresh worker
+        process looks like, which is how the warm-store tests simulate
+        cross-process traffic without forking.
+        """
+        self._entries.clear()
+        self._bytes = 0
+        if reset_stats:
+            self._counters = {}
+
+    # -- memory tier -------------------------------------------------------
+
+    def _shrink_memory(self) -> None:
+        while self._bytes > self.max_memory_bytes and self._entries:
+            (namespace, _), (_, nbytes) = self._entries.popitem(last=False)
+            self._bytes -= nbytes
+            self._count(namespace, "memory_evictions")
+
+    def _memory_insert(self, namespace: str, key: str, payload: dict) -> None:
+        nbytes = _payload_nbytes(payload)
+        if nbytes > self.max_memory_bytes:
+            return
+        previous = self._entries.pop((namespace, key), None)
+        if previous is not None:
+            self._bytes -= previous[1]
+        self._entries[(namespace, key)] = (payload, nbytes)
+        self._bytes += nbytes
+        self._shrink_memory()
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _entry_path(self, namespace: str, key: str) -> pathlib.Path:
+        if not _NAMESPACE_RE.match(namespace):
+            raise StoreError(
+                f"namespace must match {_NAMESPACE_RE.pattern}, got {namespace!r}"
+            )
+        name = content_key(namespace, key)
+        return self._root / namespace / name[:2] / f"{name}{_ENTRY_SUFFIX}"
+
+    @contextmanager
+    def _locked(self):
+        """Exclusive cross-process lock for eviction/gc sweeps."""
+        if self._root is None or fcntl is None:
+            yield
+            return
+        lock_path = self._root / ".lock"
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _scan_disk(self) -> list:
+        """Every on-disk entry as ``(path, size, mtime)`` (stale files skipped)."""
+        entries = []
+        if self._root is None:
+            return entries
+        for namespace_dir in sorted(self._root.iterdir()):
+            if not namespace_dir.is_dir():
+                continue
+            for bucket in sorted(namespace_dir.iterdir()):
+                if not bucket.is_dir():
+                    continue
+                for path in sorted(bucket.iterdir()):
+                    if path.suffix != _ENTRY_SUFFIX:
+                        continue
+                    try:
+                        status = path.stat()
+                    except OSError:
+                        continue
+                    entries.append((path, status.st_size, status.st_mtime))
+        return entries
+
+    def _evict_corrupt(self, path: pathlib.Path, namespace: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self._count(namespace, "corrupt_evictions")
+
+    def _disk_get(self, namespace: str, key: str) -> dict | None:
+        if self._root is None:
+            return None
+        path = self._entry_path(namespace, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = decode_payload(blob, namespace, key)
+        except StoreError:
+            # Corrupt/truncated/misaddressed: evict so the recomputed
+            # value can be re-published, and never serve the bad bits.
+            self._evict_corrupt(path, namespace)
+            return None
+        try:
+            os.utime(path)  # bump mtime: approximate cross-process LRU
+        except OSError:
+            pass
+        return payload
+
+    def _disk_put(self, namespace: str, key: str, payload: dict) -> None:
+        if self._root is None:
+            return
+        blob = encode_payload(namespace, key, payload)
+        if len(blob) > self.max_disk_bytes:
+            return
+        path = self._entry_path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=path.parent)
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._enforce_disk_budget()
+
+    def _enforce_disk_budget(self, max_bytes: int | None = None) -> int:
+        """Evict oldest entries until the disk tier fits its budget."""
+        if self._root is None:
+            return 0
+        budget = self.max_disk_bytes if max_bytes is None else int(max_bytes)
+        total = sum(size for _, size, _ in self._scan_disk())
+        if total <= budget:
+            return 0
+        evicted = 0
+        with self._locked():
+            entries = self._scan_disk()  # rescan under the lock
+            total = sum(size for _, size, _ in entries)
+            entries.sort(key=lambda entry: entry[2])
+            for path, size, _ in entries:
+                if total <= budget:
+                    break
+                try:
+                    path.unlink()
+                    self._count(path.parent.parent.name, "disk_evictions")
+                    evicted += 1
+                except OSError:
+                    pass
+                total -= size
+        return evicted
+
+    # -- the public entry API ----------------------------------------------
+
+    def get(self, namespace: str, key: str, memory: bool = False) -> dict | None:
+        """Look ``(namespace, key)`` up; ``None`` on a (counted) miss.
+
+        ``memory=True`` also consults/populates the memory LRU tier —
+        the spectral path; stage/shard checkpoints stay disk-only.
+        """
+        if not self.enabled:
+            return None
+        if memory:
+            cached = self._entries.get((namespace, key))
+            if cached is not None:
+                self._entries.move_to_end((namespace, key))
+                self._count(namespace, "memory_hits")
+                return cached[0]
+        payload = self._disk_get(namespace, key)
+        if payload is not None:
+            self._count(namespace, "disk_hits")
+            if memory:
+                for array in payload.values():
+                    array.setflags(write=False)
+                self._memory_insert(namespace, key, payload)
+            return payload
+        self._count(namespace, "misses")
+        return None
+
+    def put(self, namespace: str, key: str, payload: dict, memory: bool = False) -> None:
+        """Publish a payload (atomic disk write; optional memory residence)."""
+        if not self.enabled:
+            return
+        payload = {name: np.asarray(value) for name, value in payload.items()}
+        if memory:
+            for array in payload.values():
+                array.setflags(write=False)
+            self._memory_insert(namespace, key, payload)
+        self._disk_put(namespace, key, payload)
+
+    def get_or_create(self, namespace: str, key: str, builder, memory: bool = True):
+        """Serve ``(namespace, key)`` from memory, then disk, else build it.
+
+        On a miss the built payload is frozen read-only, kept resident
+        (``memory=True``) and published to the disk tier; hit or miss,
+        the arrays returned are bit-identical.  A disabled store calls
+        ``builder`` directly and stores/counts nothing.
+        """
+        if not self.enabled:
+            return builder()
+        if memory:
+            cached = self._entries.get((namespace, key))
+            if cached is not None:
+                self._entries.move_to_end((namespace, key))
+                self._count(namespace, "memory_hits")
+                return cached[0]
+        payload = self._disk_get(namespace, key)
+        if payload is not None:
+            self._count(namespace, "disk_hits")
+            for array in payload.values():
+                array.setflags(write=False)
+            if memory:
+                self._memory_insert(namespace, key, payload)
+            return payload
+        self._count(namespace, "misses")
+        payload = {name: np.asarray(value) for name, value in builder().items()}
+        for array in payload.values():
+            array.setflags(write=False)
+        if memory:
+            self._memory_insert(namespace, key, payload)
+        self._disk_put(namespace, key, payload)
+        return payload
+
+    # -- operations (the `repro store` subcommand) -------------------------
+
+    def disk_report(self) -> dict:
+        """Entry counts and byte totals of the on-disk tier, per namespace."""
+        report = {"entries": 0, "bytes": 0, "namespaces": {}}
+        for path, size, _ in self._scan_disk():
+            namespace = path.parent.parent.name
+            bucket = report["namespaces"].setdefault(
+                namespace, {"entries": 0, "bytes": 0}
+            )
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+            report["entries"] += 1
+            report["bytes"] += size
+        return report
+
+    def verify(self) -> dict:
+        """Integrity-check every on-disk entry without modifying anything."""
+        report = {"checked": 0, "ok": 0, "corrupt": []}
+        for path, _, _ in self._scan_disk():
+            report["checked"] += 1
+            try:
+                decode_payload(path.read_bytes())
+            except (StoreError, OSError):
+                report["corrupt"].append(str(path))
+            else:
+                report["ok"] += 1
+        return report
+
+    def gc(self, max_bytes: int | None = None, tmp_grace_seconds: float = 60.0) -> dict:
+        """Heal and shrink the disk tier.
+
+        Removes corrupt entries, reaps stale temp files left by crashed
+        writers (older than ``tmp_grace_seconds``, so a live writer's
+        in-flight file survives), then enforces the byte budget
+        (``max_bytes`` overrides the configured ``max_disk_bytes``).
+        """
+        report = {"corrupt_removed": 0, "temp_removed": 0, "evicted": 0}
+        if self._root is None:
+            return report
+        with self._locked():
+            cutoff = time.time() - tmp_grace_seconds
+            for namespace_dir in sorted(self._root.iterdir()):
+                if not namespace_dir.is_dir():
+                    continue
+                for bucket in sorted(namespace_dir.iterdir()):
+                    if not bucket.is_dir():
+                        continue
+                    for path in sorted(bucket.iterdir()):
+                        if path.name.startswith(_TMP_PREFIX):
+                            try:
+                                if path.stat().st_mtime <= cutoff:
+                                    path.unlink()
+                                    report["temp_removed"] += 1
+                            except OSError:
+                                pass
+            for path, _, _ in self._scan_disk():
+                try:
+                    decode_payload(path.read_bytes())
+                except (StoreError, OSError):
+                    self._evict_corrupt(path, path.parent.parent.name)
+                    report["corrupt_removed"] += 1
+        report["evicted"] = self._enforce_disk_budget(max_bytes)
+        usage = self.disk_report()
+        report["entries"] = usage["entries"]
+        report["bytes"] = usage["bytes"]
+        return report
+
+
+# -- the process-wide store ------------------------------------------------
+
+_UNSET = object()
+
+#: The process-wide store every consumer shares: ``SPECTRAL_CACHE`` is a
+#: view over it, and the pipeline/sharding checkpoint paths resolve
+#: through it once a disk root is attached (``QSCConfig.store_dir``).
+GLOBAL_STORE = ContentStore()
+
+
+def get_store() -> ContentStore:
+    """The process-wide :data:`GLOBAL_STORE`."""
+    return GLOBAL_STORE
+
+
+def active_store() -> ContentStore | None:
+    """The global store when it is enabled *and* has a disk root attached.
+
+    The pipeline and sharding checkpoint paths only consult the store in
+    that state — a memory-only store adds nothing over the per-run
+    directories they already handle.
+    """
+    store = GLOBAL_STORE
+    if store.enabled and store.root is not None:
+        return store
+    return None
+
+
+def configure_store(
+    root=_UNSET,
+    max_memory_bytes: int | None = None,
+    max_disk_bytes: int | None = None,
+    enabled: bool | None = None,
+) -> ContentStore:
+    """Configure the process-wide store; returns it.
+
+    ``root`` attaches the shared on-disk tier (``None`` detaches it);
+    omit it to leave the current attachment alone.  Worker processes call
+    this from ``QSCPipeline.run`` whenever a config carries
+    ``store_dir``, so the store propagates under any multiprocessing
+    start method.
+    """
+    store = GLOBAL_STORE
+    if root is not _UNSET:
+        if root is None:
+            store.detach()
+        else:
+            store.attach(root)
+    store.configure(
+        max_memory_bytes=max_memory_bytes,
+        max_disk_bytes=max_disk_bytes,
+        enabled=enabled,
+    )
+    return store
+
+
+def store_counters() -> dict:
+    """Flat monotonic counters of the global store (for delta bracketing)."""
+    return GLOBAL_STORE.counters()
+
+
+def store_stats() -> dict:
+    """Full stats snapshot of the global store."""
+    return GLOBAL_STORE.stats()

@@ -39,6 +39,27 @@ def tiny_seed(point, trial, base_seed) -> int:
     return base_seed + 10 * trial + point["x"]
 
 
+def counter_poking_trial(point, trial, seed, rng) -> list:
+    """One spectral-cache miss plus one hit per task, under a task-unique
+    fingerprint — so aggregated counters must equal the task count no
+    matter which worker process ran which task."""
+    import numpy as np
+
+    from repro.core.qpe_engine import SPECTRAL_CACHE
+
+    fingerprint = f"counter-poke-{seed}"
+    SPECTRAL_CACHE.decomposition(fingerprint, np.eye(2) * float(seed))  # miss
+    SPECTRAL_CACHE.decomposition(fingerprint)  # guaranteed hit
+    return [
+        TrialRecord(
+            experiment="TOY",
+            method="poke",
+            parameters=dict(point),
+            seed=seed,
+        )
+    ]
+
+
 def tiny_spec(**overrides) -> SweepSpec:
     settings = dict(
         name="toy",
@@ -158,6 +179,35 @@ class TestSweepRunner:
         }
         assert result.profile["readout"]["computed"] == 2
         assert result.profile["qmeans"]["computed"] == 2
+
+    def test_counters_aggregate_across_parallel_workers(self):
+        """Cache and store counters sum over worker processes.
+
+        Each task makes exactly one miss and one hit under a task-unique
+        key, so the aggregated totals must equal the task count for any
+        ``jobs`` value — the latent gap this pins: at ``jobs>1`` the
+        deltas are measured inside the worker that ran the task and
+        summed by the parent, not read from the parent's own (cold)
+        process-local cache.
+        """
+        from repro.core.qpe_engine import clear_spectral_cache
+        from repro.store import COUNTER_KEYS
+
+        spec = tiny_spec(trial=counter_poking_trial, fixed={})
+        tasks = len(spec.tasks())
+        clear_spectral_cache()
+        serial = SweepRunner(spec, jobs=1).run()
+        clear_spectral_cache()
+        parallel = SweepRunner(spec, jobs=3).run()
+        clear_spectral_cache()
+        for result in (serial, parallel):
+            assert result.cache["hits"] == tasks
+            assert result.cache["misses"] == tasks
+            assert set(result.store) == set(COUNTER_KEYS)
+            assert result.store["memory_hits"] == tasks
+            assert result.store["misses"] == tasks
+            assert result.store["disk_hits"] == 0  # no disk tier attached
+        assert serial.records == parallel.records
 
 
 class TestArtifacts:

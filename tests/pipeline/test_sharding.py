@@ -132,6 +132,23 @@ def _readout_case():
     return pipeline.state["backend"], pipeline.state["accepted"], config, result
 
 
+def _shard_store_entry(store, shard_name):
+    """Path of one shard's store entry, found by its embedded identity
+    (the address is an opaque digest, but every entry names itself)."""
+    import io
+
+    from repro.store.content_store import _HEADER_BYTES
+
+    root = store.root / checkpoint.SHARD_NAMESPACE
+    for path in sorted(root.rglob("*.cas")):
+        body = path.read_bytes()[_HEADER_BYTES:]
+        with np.load(io.BytesIO(body), allow_pickle=False) as archive:
+            identity = str(archive["__store_entry__"])
+        if f":{shard_name}@" in identity:
+            return path
+    raise AssertionError(f"no store entry for {shard_name}")
+
+
 def _run_sharded(graph, k, config, shards, tmp_path=None, **run_kwargs):
     pipeline = QSCPipeline(k, config.with_updates(readout_shards=shards))
     result = pipeline.run(graph, **run_kwargs)
@@ -500,6 +517,80 @@ class TestCrashResume:
             3: "checkpoint",
             4: "checkpoint",
         }
+
+    def test_resume_recomputes_corrupted_shard_checkpoint(
+        self, monkeypatch, tmp_path
+    ):
+        """A bit-flipped shard archive heals: only that shard recomputes,
+        its siblings stay trusted, and the result is still golden."""
+        monkeypatch.setattr(
+            sharding, "default_executor", lambda count: InlineShardExecutor()
+        )
+        graph, k, config = build_case("analytic_shots")
+        _run_sharded(graph, k, config, 5, save_stages=tmp_path)
+        checkpoint.stage_path(tmp_path, "readout").unlink()
+        shard_file = checkpoint.stage_path(tmp_path, "readout.shard-1")
+        blob = bytearray(shard_file.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # lands in the rows archive member
+        shard_file.write_bytes(bytes(blob))
+        _, result = _run_sharded(
+            graph, k, config, 5, save_stages=tmp_path, resume_from="readout"
+        )
+        assert result_digest(result) == GOLDEN["analytic_shots"]
+        readout = [r for r in result.profile if r["stage"] == "readout"][0]
+        sources = {row["shard"]: row["source"] for row in readout["shards"]}
+        assert sources == {
+            0: "checkpoint",
+            1: "computed",
+            2: "checkpoint",
+            3: "checkpoint",
+            4: "checkpoint",
+        }
+        # The healed shard was re-checkpointed, so a second resume is
+        # fully checkpoint-served.
+        checkpoint.stage_path(tmp_path, "readout").unlink()
+        _, again = _run_sharded(
+            graph, k, config, 5, save_stages=tmp_path, resume_from="readout"
+        )
+        assert result_digest(again) == GOLDEN["analytic_shots"]
+        readout = [r for r in again.profile if r["stage"] == "readout"][0]
+        assert all(row["source"] == "checkpoint" for row in readout["shards"])
+
+    def test_store_resume_recomputes_corrupted_shard_entry(
+        self, monkeypatch, tmp_path
+    ):
+        """Same healing through the shared content-addressed store: a
+        corrupt shard entry is evicted and recomputed while the sibling
+        shards (and the upstream stages) are served from the store."""
+        from repro.store import configure_store, get_store
+
+        monkeypatch.setattr(
+            sharding, "default_executor", lambda count: InlineShardExecutor()
+        )
+        graph, k, config = build_case("analytic_shots")
+        config = config.with_updates(store_dir=str(tmp_path / "store"))
+        try:
+            _run_sharded(graph, k, config, 5)  # cold run fills the store
+            store = get_store()
+            entry = _shard_store_entry(store, "readout.shard-1")
+            blob = bytearray(entry.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            entry.write_bytes(bytes(blob))
+            _, result = _run_sharded(graph, k, config, 5, resume_from="readout")
+            assert result_digest(result) == GOLDEN["analytic_shots"]
+            readout = [r for r in result.profile if r["stage"] == "readout"][0]
+            sources = {row["shard"]: row["source"] for row in readout["shards"]}
+            assert sources == {
+                0: "checkpoint",
+                1: "computed",
+                2: "checkpoint",
+                3: "checkpoint",
+                4: "checkpoint",
+            }
+            assert store.counters()["corrupt_evictions"] >= 1
+        finally:
+            configure_store(root=None)
+            get_store().clear_memory()
 
     def test_shard_checkpoint_rejects_different_context(
         self, monkeypatch, tmp_path

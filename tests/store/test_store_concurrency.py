@@ -1,0 +1,196 @@
+"""Concurrency and crash-injection harness of the content store.
+
+The claims under stress:
+
+* N writer processes and M reader processes hammering one store root
+  never produce a torn read — a reader sees either a miss or the exact
+  expected bits (atomic ``os.replace`` publication);
+* a writer killed with ``os._exit`` mid-put leaves at most a stale temp
+  file, never a half-written entry, and the store self-heals on the next
+  open (``gc`` reaps the temp file; the entry recomputes cleanly).
+
+Workers run under the ``fork`` start method (this suite is POSIX-only,
+like the ``flock`` layer it exercises) and report failure through their
+exit codes, so one assertion in the parent covers every observation a
+child made.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import ContentStore
+from repro.store.content_store import _TMP_PREFIX
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-based stress harness is POSIX-only"
+)
+
+NUM_KEYS = 12
+NUM_WRITERS = 4
+NUM_READERS = 4
+READER_PASSES = 40
+
+
+def expected_payload(key: str) -> dict:
+    """The deterministic content of one stress key — derived from the key
+    alone, so every process can independently check bit-identity."""
+    seed = sum(key.encode())
+    rng = np.random.default_rng(seed)
+    return {
+        "rows": rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6)),
+        "norms": rng.random(6),
+        "tag": np.int64(seed),
+    }
+
+
+def payload_matches(actual, key) -> bool:
+    expected = expected_payload(key)
+    if sorted(actual) != sorted(expected):
+        return False
+    return all(
+        np.asarray(actual[name]).tobytes() == np.asarray(value).tobytes()
+        for name, value in expected.items()
+    )
+
+
+def stress_writer(root, writer_index):
+    """Repeatedly (re-)publish every key, interleaving with other writers."""
+    store = ContentStore(root=root)
+    for round_index in range(3):
+        for key_index in range(NUM_KEYS):
+            if (key_index + round_index) % NUM_WRITERS != writer_index:
+                continue
+            key = f"stress-{key_index}"
+            store.put("stress", key, expected_payload(key))
+    os._exit(0)
+
+
+def stress_reader(root):
+    """Spin over every key; exit non-zero on any wrong or torn read."""
+    store = ContentStore(root=root)
+    hits = 0
+    for _ in range(READER_PASSES):
+        for key_index in range(NUM_KEYS):
+            key = f"stress-{key_index}"
+            payload = store.get("stress", key)
+            if payload is None:
+                continue  # a miss is legal (writer not there yet)
+            if not payload_matches(payload, key):
+                os._exit(2)  # wrong bits — the one forbidden outcome
+            hits += 1
+    if store.counters()["corrupt_evictions"]:
+        os._exit(3)  # a torn read would show up as a corrupt eviction
+    os._exit(0 if hits else 4)  # readers must eventually see real data
+
+
+def crashing_writer(root, key):
+    """Start a put but die mid-publication, leaving the temp file behind."""
+    store = ContentStore(root=root)
+    original_replace = os.replace
+
+    def die_before_publish(src, dst):
+        os._exit(9)
+
+    os.replace = die_before_publish
+    try:
+        store.put("stress", key, expected_payload(key))
+    finally:
+        os.replace = original_replace
+    os._exit(1)  # unreachable: the put must have hit the crash point
+
+
+def run_children(targets):
+    context = multiprocessing.get_context("fork")
+    children = [
+        context.Process(target=target, args=args) for target, args in targets
+    ]
+    for child in children:
+        child.start()
+    for child in children:
+        child.join(timeout=120)
+    codes = [child.exitcode for child in children]
+    for child in children:
+        if child.is_alive():  # pragma: no cover - hang diagnostics
+            child.kill()
+    return codes
+
+
+class TestWriterReaderStress:
+    def test_no_torn_reads_under_concurrent_writers(self, tmp_path):
+        targets = [
+            (stress_writer, (str(tmp_path), index))
+            for index in range(NUM_WRITERS)
+        ] + [(stress_reader, (str(tmp_path),)) for _ in range(NUM_READERS)]
+        codes = run_children(targets)
+        assert codes == [0] * (NUM_WRITERS + NUM_READERS)
+
+        # The surviving tier is complete, uncorrupted, and bit-exact.
+        store = ContentStore(root=tmp_path)
+        report = store.verify()
+        assert report["corrupt"] == []
+        assert report["checked"] == NUM_KEYS
+        for key_index in range(NUM_KEYS):
+            key = f"stress-{key_index}"
+            assert payload_matches(store.get("stress", key), key)
+
+    def test_concurrent_writers_of_one_key_stay_atomic(self, tmp_path):
+        # Every writer publishes the same key; last-write-wins is fine,
+        # a torn or mixed entry is not.
+        def same_key_writer(root, _index):
+            store = ContentStore(root=root)
+            for _ in range(25):
+                store.put("stress", "contended", expected_payload("contended"))
+            os._exit(0)
+
+        codes = run_children(
+            [(same_key_writer, (str(tmp_path), i)) for i in range(NUM_WRITERS)]
+        )
+        assert codes == [0] * NUM_WRITERS
+        store = ContentStore(root=tmp_path)
+        assert payload_matches(store.get("stress", "contended"), "contended")
+        assert store.verify()["corrupt"] == []
+
+
+class TestCrashInjection:
+    def test_writer_killed_mid_put_leaves_no_entry(self, tmp_path):
+        codes = run_children([(crashing_writer, (str(tmp_path), "victim"))])
+        assert codes == [9]  # died exactly at the injected crash point
+
+        store = ContentStore(root=tmp_path)
+        # The entry was never published ...
+        assert store.get("stress", "victim") is None
+        assert store.verify()["corrupt"] == []
+        # ... but the in-flight temp file survived the crash.
+        temps = [
+            path
+            for path in tmp_path.rglob(f"{_TMP_PREFIX}*")
+            if path.is_file()
+        ]
+        assert len(temps) == 1
+
+    def test_store_self_heals_after_a_crashed_writer(self, tmp_path):
+        run_children([(crashing_writer, (str(tmp_path), "victim"))])
+        store = ContentStore(root=tmp_path)
+
+        # gc with the grace period active keeps the (possibly live) temp;
+        # with the grace period zeroed it reaps the orphan.
+        assert store.gc(tmp_grace_seconds=3600)["temp_removed"] == 0
+        assert store.gc(tmp_grace_seconds=0)["temp_removed"] == 1
+        assert not list(tmp_path.rglob(f"{_TMP_PREFIX}*"))
+
+        # The store works normally afterwards: the interrupted entry
+        # recomputes and round-trips bit-exactly.
+        built = []
+
+        def build():
+            built.append(True)
+            return expected_payload("victim")
+
+        payload = store.get_or_create("stress", "victim", build)
+        assert built == [True]
+        assert payload_matches(payload, "victim")
+        store.clear_memory()
+        assert payload_matches(store.get("stress", "victim"), "victim")

@@ -1,0 +1,160 @@
+"""Corruption injection: damaged entries are detected, evicted, recomputed.
+
+Covers the store layer (bit flips, truncation, cross-linked files) and
+the pipeline integration (a corrupted stage checkpoint in a resume
+directory heals instead of poisoning the run).  The invariant throughout:
+**wrong bits are never served** — every read either returns the exact
+original payload or recomputes it.
+"""
+
+import numpy as np
+import pytest
+from test_golden import GOLDEN, build_case, result_digest
+
+from repro import QSCPipeline
+from repro.exceptions import ClusteringError
+from repro.pipeline import checkpoint
+from repro.store import ContentStore, configure_store, get_store
+
+
+def payload():
+    rng = np.random.default_rng(42)
+    return {"rows": rng.standard_normal((8, 8)), "norms": rng.random(8)}
+
+
+def flip_byte(path, offset):
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestStoreCorruption:
+    @pytest.mark.parametrize("offset", [0, 12, 60, -3])
+    def test_flipped_byte_is_evicted_and_recomputed(self, tmp_path, offset):
+        store = ContentStore(root=tmp_path)
+        store.put("stress", "k", payload())
+        path = store._entry_path("stress", "k")
+        flip_byte(path, offset)
+
+        assert store.get("stress", "k") is None  # detected, never served
+        assert not path.exists()  # evicted on the spot
+        assert store.counters()["corrupt_evictions"] == 1
+
+        rebuilt = store.get_or_create(
+            "stress", "k", payload, memory=False
+        )
+        assert np.array_equal(rebuilt["rows"], payload()["rows"])
+        store.clear_memory(reset_stats=False)
+        assert store.get("stress", "k") is not None  # re-published
+
+    @pytest.mark.parametrize("keep", [0, 7, 41, 200])
+    def test_truncated_entry_is_evicted(self, tmp_path, keep):
+        store = ContentStore(root=tmp_path)
+        store.put("stress", "k", payload())
+        path = store._entry_path("stress", "k")
+        path.write_bytes(path.read_bytes()[:keep])
+        assert store.get("stress", "k") is None
+        assert store.counters()["corrupt_evictions"] == 1
+        assert not path.exists()
+
+    def test_cross_linked_entry_is_rejected(self, tmp_path):
+        # A checksum-valid file copied to another key's address must not
+        # be served there: the embedded identity catches it.
+        store = ContentStore(root=tmp_path)
+        store.put("stress", "original", payload())
+        source = store._entry_path("stress", "original")
+        target = store._entry_path("stress", "impostor")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(source.read_bytes())
+
+        assert store.get("stress", "impostor") is None
+        assert store.counters()["corrupt_evictions"] == 1
+        assert store.get("stress", "original") is not None  # untouched
+
+    def test_verify_flags_and_gc_heals_without_serving(self, tmp_path):
+        store = ContentStore(root=tmp_path)
+        for name in ("good", "bad"):
+            store.put("stress", name, payload())
+        flip_byte(store._entry_path("stress", "bad"), 20)
+
+        report = store.verify()
+        assert report["checked"] == 2 and report["ok"] == 1
+        assert report["corrupt"] == [str(store._entry_path("stress", "bad"))]
+        assert store._entry_path("stress", "bad").exists()  # verify is read-only
+
+        gc = store.gc()
+        assert gc["corrupt_removed"] == 1
+        assert store.verify() == {"checked": 1, "ok": 1, "corrupt": []}
+
+
+class TestPipelineCheckpointCorruption:
+    def test_corrupt_stage_checkpoint_recomputes_to_golden(self, tmp_path):
+        """A resume over a damaged run-dir checkpoint heals that stage."""
+        graph, k, config = build_case("analytic_shots")
+        QSCPipeline(k, config).run(graph, save_stages=tmp_path)
+        path = checkpoint.stage_path(tmp_path, "laplacian")
+        flip_byte(path, path.stat().st_size // 2)
+
+        resumed = QSCPipeline(k, config).run(
+            graph, resume_from="readout", stages_dir=tmp_path
+        )
+        assert result_digest(resumed) == GOLDEN["analytic_shots"]
+        profile = {row["stage"]: row["source"] for row in resumed.profile}
+        assert profile["laplacian"] == "computed"  # healed, not served
+        assert profile["threshold"] == "checkpoint"
+        assert not path.exists() or checkpoint.has_stage_checkpoint(
+            tmp_path, "laplacian"
+        )
+
+    def test_corrupt_store_stage_entry_recomputes_to_golden(self, tmp_path):
+        """Same healing when the damaged entry lives in the shared store."""
+        graph, k, config = build_case("analytic_shots")
+        config = config.with_updates(store_dir=str(tmp_path / "store"))
+        QSCPipeline(k, config).run(graph)
+
+        store = get_store()
+        fingerprint = _stage_fingerprint(graph, config, k, "laplacian")
+        path = store._entry_path(
+            checkpoint.STAGE_NAMESPACE,
+            checkpoint.store_key("laplacian", fingerprint),
+        )
+        flip_byte(path, path.stat().st_size // 2)
+
+        from repro.core.qpe_engine import clear_spectral_cache
+
+        clear_spectral_cache()
+        resumed = QSCPipeline(k, config).run(graph, resume_from="readout")
+        assert result_digest(resumed) == GOLDEN["analytic_shots"]
+        profile = {row["stage"]: row["source"] for row in resumed.profile}
+        assert profile["laplacian"] == "computed"
+        assert profile["threshold"] == "checkpoint"  # siblings still served
+        assert store.counters()["corrupt_evictions"] >= 1
+        configure_store(root=None)
+
+    def test_missing_checkpoint_without_store_stays_a_hard_error(
+        self, tmp_path
+    ):
+        """Plain absence (no corruption, no store) is still the classic
+        configuration error, not a silent recompute."""
+        graph, k, config = build_case("analytic_shots")
+        QSCPipeline(k, config).run(graph, save_stages=tmp_path)
+        checkpoint.stage_path(tmp_path, "laplacian").unlink()
+        with pytest.raises(ClusteringError, match="no checkpoint"):
+            QSCPipeline(k, config).run(
+                graph, resume_from="readout", stages_dir=tmp_path
+            )
+
+
+def _stage_fingerprint(graph, config, num_clusters, stage_name):
+    """The context fingerprint the pipeline keys ``stage_name`` under —
+    computed with the pipeline's own stage declarations, so the test
+    addresses the exact entry a run just published."""
+    from repro.pipeline import build_stages
+
+    stage = next(s for s in build_stages() if s.name == stage_name)
+    return checkpoint.context_fingerprint(
+        graph,
+        config,
+        num_clusters if stage.fingerprint_clusters else None,
+        stage.fingerprint_fields,
+    )

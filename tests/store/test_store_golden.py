@@ -1,0 +1,38 @@
+"""Golden bit-identity of store-backed runs — cold and warm.
+
+Re-pins all six ``tests/pipeline/test_golden.py`` digests through runs
+that attach the shared content-addressed store: the cold pass (filling
+the store) and the warm pass (memory tier dropped, so every spectral
+reuse is a cross-process disk hit) must both land on the exact digests
+recorded before the store existed.  A store that changed a single bit of
+any stage fails here.
+"""
+
+import pytest
+from test_golden import GOLDEN, build_case, result_digest
+
+from repro import QSCPipeline
+from repro.core.qpe_engine import clear_spectral_cache
+from repro.store import get_store
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_store_backed_run_is_bit_transparent(name, tmp_path):
+    graph, k, config = build_case(name)
+    config = config.with_updates(store_dir=str(tmp_path))
+
+    clear_spectral_cache()
+    cold = QSCPipeline(k, config).run(graph)
+    assert result_digest(cold) == GOLDEN[name]
+    cold_counters = get_store().counters()
+    assert cold_counters["misses"] > 0  # the cold pass filled the store
+
+    # Drop the memory tier: the warm pass simulates a brand-new worker
+    # process that can only be served by the shared on-disk tier.
+    clear_spectral_cache()
+    warm = QSCPipeline(k, config).run(graph)
+    assert result_digest(warm) == GOLDEN[name]
+    warm_counters = get_store().counters()
+    assert warm_counters["disk_hits"] > 0, warm_counters
+    assert warm_counters["misses"] == 0, warm_counters
+    assert warm_counters["corrupt_evictions"] == 0
