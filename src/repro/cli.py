@@ -7,6 +7,7 @@
     python -m repro bench    --name c17 --clusters 2
     python -m repro spectrum --input graph.mixed --top 8
     python -m repro experiments --only fig2 --jobs 4 --out artifacts/
+    python -m repro serve    --port 8831 --store-dir cas-store --workers 2
 
 Graphs travel in the edge-list format of ``repro.graphs.io``.  Every
 subcommand prints plain text to stdout and exits non-zero on error, so the
@@ -33,6 +34,7 @@ import sys
 import numpy as np
 
 from repro.core import QSCConfig, QuantumSpectralClustering
+from repro.core.config import SHARD_FAILURE_MODES
 from repro.exceptions import ReproError
 from repro.graphs import (
     cyclic_flow_sbm,
@@ -142,6 +144,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "concurrent worker processes for sharded readout; results are "
             "identical at any value (default: one per CPU core)"
+        ),
+    )
+    cluster.add_argument(
+        "--shard-failure-mode",
+        choices=SHARD_FAILURE_MODES,
+        default="raise",
+        help=(
+            "what to do when a readout shard exhausts its retries: "
+            "'raise' aborts the run (default); 'degrade' zeroes the "
+            "failed shard's rows and keeps going — degraded stages are "
+            "not checkpointed, so a later --resume-from readout run "
+            "recomputes them completely"
         ),
     )
     cluster.add_argument(
@@ -337,6 +351,73 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="byte budget for gc (default: the store's configured budget)",
     )
+    store.add_argument(
+        "--grace-seconds",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help=(
+            "gc only: reap in-flight .tmp-* files older than S seconds; "
+            "younger ones are presumed live writers and survive "
+            "(default: 60)"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async clustering-as-a-service job server",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8831,
+        help=(
+            "bind port; 0 picks an ephemeral one, announced on the "
+            "readiness line (default: 8831)"
+        ),
+    )
+    serve.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "shared content-addressed store for every served job: shard/"
+            "stage checkpoints land there as they complete (crash-resume) "
+            "and finished artifacts are published under the job's content "
+            "fingerprint, so identical resubmissions are served without "
+            "recomputing (default: no store — jobs always compute)"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrently running jobs (default: 2)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-attempt deadline for one job's worker process; a worker "
+            "past it is killed and the job retried (default: no deadline)"
+        ),
+    )
+    serve.add_argument(
+        "--job-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "extra attempts a crashed or expired job worker gets before "
+            "the job fails (default: 1)"
+        ),
+    )
     return parser
 
 
@@ -358,6 +439,7 @@ def _cmd_cluster(args) -> int:
             shard_timeout=args.shard_timeout,
             shard_retries=args.shard_retries,
             shard_workers=args.shard_workers,
+            shard_failure_mode=args.shard_failure_mode,
             store_dir=args.store_dir,
             draw_threads=args.draw_threads,
             theta=args.theta,
@@ -561,7 +643,9 @@ def _cmd_store(args) -> int:
         for path in report["corrupt"]:
             print(f"corrupt: {path}")
         return 1 if report["corrupt"] else 0
-    report = store.gc(max_bytes=args.max_bytes)
+    report = store.gc(
+        max_bytes=args.max_bytes, tmp_grace_seconds=args.grace_seconds
+    )
     print(
         f"corrupt removed: {report['corrupt_removed']}  "
         f"temp files removed: {report['temp_removed']}  "
@@ -571,6 +655,21 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported lazily: the service layer (asyncio server machinery) is
+    # only paid for by the one subcommand that runs it.
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store_dir,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
+    )
+
+
 _COMMANDS = {
     "cluster": _cmd_cluster,
     "generate": _cmd_generate,
@@ -578,6 +677,7 @@ _COMMANDS = {
     "spectrum": _cmd_spectrum,
     "experiments": _cmd_experiments,
     "store": _cmd_store,
+    "serve": _cmd_serve,
 }
 
 

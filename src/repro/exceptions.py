@@ -49,3 +49,11 @@ class ExperimentError(ReproError):
 
 class ParseError(ReproError):
     """A netlist or edge-list file could not be parsed."""
+
+
+class ServiceError(ReproError):
+    """A job-service request was malformed or cannot be honoured.
+
+    Covers the clustering-as-a-service layer (:mod:`repro.service`):
+    unknown jobs, artifacts requested before completion, protocol
+    violations on the wire, and client-observed server errors."""

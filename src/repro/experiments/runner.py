@@ -33,18 +33,20 @@ they did under the hand-rolled loops.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import json
 import pathlib
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
 from repro.core.qpe_engine import spectral_cache_stats
-from repro.exceptions import ExperimentError
+from repro.exceptions import ClusteringError, ExperimentError
 from repro.experiments.common import TrialRecord
 from repro.pipeline.telemetry import (
     SHARD_TOTAL_KEYS as _SHARD_PROFILE_KEYS,
@@ -348,15 +350,27 @@ class SweepRunner:
                 for task, rng in zip(tasks, rngs)
             ]
         else:
+            # One future per task (not ``pool.map``) so a worker process
+            # dying mid-task — OOM kill, segfault, os._exit — surfaces as
+            # a ClusteringError naming the first affected task instead of
+            # a raw BrokenProcessPool traceback.  Results are still
+            # collected in task order, so the output stays bit-identical.
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                outcomes = list(
-                    pool.map(
-                        _execute_task,
-                        itertools.repeat(self.spec),
-                        tasks,
-                        rngs,
-                    )
-                )
+                futures = [
+                    pool.submit(_execute_task, self.spec, task, rng)
+                    for task, rng in zip(tasks, rngs)
+                ]
+                outcomes = []
+                for task, future in zip(tasks, futures):
+                    try:
+                        outcomes.append(future.result())
+                    except BrokenProcessPool as exc:
+                        raise ClusteringError(
+                            f"sweep {self.spec.name!r} task {task.index} "
+                            f"(point={task.point}, trial={task.trial}): worker "
+                            "process died mid-task (killed, out of memory, or "
+                            "hard-exited) and took the pool down with it"
+                        ) from exc
         elapsed = time.perf_counter() - start
         by_index: dict[int, list] = {}
         cache = {key: 0 for key in _CACHE_COUNTERS}
@@ -554,3 +568,97 @@ def get_spec(name: str, **overrides) -> SweepSpec:
             f"unknown experiment {name!r}; known: {', '.join(sorted(specs))}"
         )
     return specs[name](**overrides)
+
+
+# -- job specs (clustering-as-a-service submissions) ----------------------
+
+#: Top-level keys a submitted job object may carry.
+JOB_KEYS = ("experiment", "trials", "overrides")
+
+
+def normalize_job(job: dict) -> dict:
+    """Validate a submitted job object and return its canonical form.
+
+    A job is the service-layer unit of work: a JSON object naming a
+    registered experiment plus optional ``trials`` and spec-factory
+    ``overrides``.  The canonical form — experiment name, explicit trial
+    count, overrides with sorted keys — is what the job fingerprint (and
+    therefore the store's job-artifact key) is computed from, so two
+    submissions that mean the same sweep normalize identically.
+
+    Raises :class:`~repro.exceptions.ExperimentError` on unknown
+    experiments, unknown override names, or malformed values.
+    """
+    if not isinstance(job, dict):
+        raise ExperimentError(
+            f"job must be an object, got {type(job).__name__}"
+        )
+    unknown = sorted(set(job) - set(JOB_KEYS))
+    if unknown:
+        raise ExperimentError(
+            f"unknown job field(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(JOB_KEYS)}"
+        )
+    specs = registry()
+    experiment = job.get("experiment")
+    if experiment not in specs:
+        raise ExperimentError(
+            f"unknown experiment {experiment!r}; known: {', '.join(sorted(specs))}"
+        )
+    trials = job.get("trials", 1)
+    if not isinstance(trials, int) or isinstance(trials, bool) or trials < 1:
+        raise ExperimentError(f"job trials must be a positive integer, got {trials!r}")
+    overrides = job.get("overrides", {})
+    if not isinstance(overrides, dict):
+        raise ExperimentError(
+            f"job overrides must be an object, got {type(overrides).__name__}"
+        )
+    allowed = set(inspect.signature(specs[experiment]).parameters)
+    bad = sorted(set(overrides) - allowed)
+    if bad:
+        raise ExperimentError(
+            f"experiment {experiment!r} does not accept override(s) "
+            f"{', '.join(map(repr, bad))}; allowed: {', '.join(sorted(allowed))}"
+        )
+    return {
+        "experiment": experiment,
+        "trials": trials,
+        "overrides": {key: overrides[key] for key in sorted(overrides)},
+    }
+
+
+def job_fingerprint(job: dict) -> str:
+    """Content fingerprint of a job's canonical form (blake2b hex).
+
+    Two submissions describing the same sweep share a fingerprint, which
+    is how the service resolves repeat submissions straight from the
+    content store's job-artifact namespace.
+    """
+    import hashlib
+
+    canonical = json.dumps(_jsonable(normalize_job(job)), sort_keys=True)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def spec_from_job(job: dict, store_dir=None) -> SweepSpec:
+    """Build the :class:`SweepSpec` a submitted job object describes.
+
+    ``store_dir`` is the *server's* shared content store; it is injected
+    into the factory call when the factory supports it and the job did
+    not pin its own, so every served job checkpoints into (and resumes
+    from) the same store.  The injection deliberately happens after
+    normalization — it never changes the job's fingerprint.
+    """
+    job = normalize_job(job)
+    factory = registry()[job["experiment"]]
+    kwargs = dict(job["overrides"])
+    if (
+        store_dir is not None
+        and "store_dir" not in kwargs
+        and "store_dir" in inspect.signature(factory).parameters
+    ):
+        kwargs["store_dir"] = str(store_dir)
+    spec = factory(**kwargs)
+    if job["trials"] != spec.trials:
+        spec = spec.with_updates(trials=job["trials"])
+    return spec

@@ -36,6 +36,7 @@ from repro.pipeline.supervisor import (
     ProcessShardExecutor,
     ShardSupervisor,
     ShardTask,
+    SupervisorCancelled,
 )
 from repro.pipeline.telemetry import (
     ShardReport,
@@ -58,6 +59,7 @@ __all__ = [
     "Stage",
     "StageContext",
     "StageReport",
+    "SupervisorCancelled",
     "build_stages",
     "has_stage_checkpoint",
     "load_stage_payload",

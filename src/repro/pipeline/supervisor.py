@@ -39,6 +39,17 @@ from repro.core.config import SHARD_FAILURE_MODES as FAILURE_MODES
 from repro.exceptions import ClusteringError
 
 
+class SupervisorCancelled(ClusteringError):
+    """A supervised run was stopped through its ``cancel`` event.
+
+    Raised by :meth:`ShardSupervisor.run` when the caller-supplied cancel
+    event is observed set between supervision sweeps.  In-flight attempts
+    are killed before the exception propagates; work that already
+    completed (and was checkpointed via ``on_complete``) is untouched, so
+    a cancelled run resumes from its surviving shard checkpoints.
+    """
+
+
 @dataclass(frozen=True)
 class ShardTask:
     """One unit of supervised work.
@@ -213,19 +224,24 @@ class ProcessShardExecutor:
     crashed.
     """
 
-    def __init__(self, mp_context=None):
+    def __init__(self, mp_context=None, *, daemon: bool = True):
         if mp_context is None:
             import multiprocessing
 
             mp_context = multiprocessing.get_context()
         self._context = mp_context
+        # Daemonic workers die with the parent (the safe default), but a
+        # daemonic process cannot spawn children of its own — the service
+        # layer passes ``daemon=False`` so a supervised job worker can run
+        # a sharded readout (which forks shard workers) inside itself.
+        self._daemon = daemon
 
     def submit(self, task: ShardTask, attempt: int) -> ShardHandle:
         parent, child = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_process_shard_entry,
             args=(child, task.fn, task.args),
-            daemon=True,
+            daemon=self._daemon,
         )
         process.start()
         child.close()
@@ -320,19 +336,35 @@ class ShardSupervisor:
         """Sleep before retry number ``attempt`` (1-based failure count)."""
         return min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
 
-    def run(self, tasks, on_complete=None) -> dict[int, ShardOutcome]:
+    def run(
+        self, tasks, on_complete=None, *, on_attempt=None, cancel=None
+    ) -> dict[int, ShardOutcome]:
         """Supervise ``tasks`` to completion; outcomes keyed by shard index.
 
         ``on_complete(outcome)`` fires the moment a task *succeeds* — the
         sharded readout checkpoints each shard there, so completed work
         survives even when a later task aborts the whole run.
+
+        ``on_attempt(index, attempt)`` fires as each attempt launches
+        (``attempt >= 2`` means a crashed or expired child was restarted);
+        it must be cheap and must not raise.  ``cancel`` is an optional
+        event object (``threading.Event`` contract: ``is_set()``); when it
+        is observed set between sweeps the supervisor kills every
+        in-flight attempt and raises :class:`SupervisorCancelled`.
+        Cancellation is best-effort — a run whose last task settles before
+        the event is observed completes normally.
         """
         pending = [_TaskState(task) for task in tasks]
         running: list[_Running] = []
         outcomes: dict[int, ShardOutcome] = {}
         try:
             while pending or running:
-                progressed = self._launch(pending, running)
+                if cancel is not None and cancel.is_set():
+                    raise SupervisorCancelled(
+                        f"supervised run cancelled with {len(pending)} pending "
+                        f"and {len(running)} in-flight task(s)"
+                    )
+                progressed = self._launch(pending, running, on_attempt)
                 progressed |= self._sweep(pending, running, outcomes, on_complete)
                 if not progressed and (running or pending):
                     time.sleep(self.poll_interval)
@@ -342,7 +374,7 @@ class ShardSupervisor:
             raise
         return outcomes
 
-    def _launch(self, pending: list, running: list) -> bool:
+    def _launch(self, pending: list, running: list, on_attempt=None) -> bool:
         """Move eligible pending tasks into flight; True if any launched."""
         progressed = False
         now = time.monotonic()
@@ -356,6 +388,8 @@ class ShardSupervisor:
                 break
             pending.remove(eligible)
             eligible.attempts += 1
+            if on_attempt is not None:
+                on_attempt(eligible.task.index, eligible.attempts)
             handle = self.executor.submit(eligible.task, eligible.attempts)
             started = time.monotonic()
             deadline = None if self.timeout is None else started + self.timeout

@@ -205,3 +205,31 @@ def merge_totals(accumulator: dict, delta: dict) -> dict:
         for key in row:
             entry[key] = entry.get(key, 0) + row[key]
     return accumulator
+
+
+def profile_stage_rows(profile: dict, order: tuple = ()) -> list[dict]:
+    """Flatten an artifact/result ``profile`` mapping into ordered rows.
+
+    ``profile`` is the ``{stage: {seconds, computed, loaded, shards_*}}``
+    mapping a ``repro.sweep/1`` artifact (or :func:`stage_totals`) carries.
+    Stages listed in ``order`` come first in that order; any extras follow
+    alphabetically.  Each row is a flat event-ready dict — the service
+    layer streams these as per-stage progress events, shard counters
+    included exactly when the stage ran sharded.
+    """
+    names = [stage for stage in order if stage in profile]
+    names += [stage for stage in sorted(profile) if stage not in names]
+    rows = []
+    for stage in names:
+        entry = profile[stage]
+        row = {
+            "stage": stage,
+            "seconds": float(entry.get("seconds", 0.0)),
+            "computed": int(entry.get("computed", 0)),
+            "loaded": int(entry.get("loaded", 0)),
+        }
+        for key in SHARD_TOTAL_KEYS:
+            if key in entry:
+                row[key] = int(entry[key])
+        rows.append(row)
+    return rows

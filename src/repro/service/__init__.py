@@ -1,0 +1,46 @@
+"""Clustering-as-a-service: the async job server over the staged pipeline.
+
+The ROADMAP's service front end, built on everything PRs 5–7 laid down:
+
+* one **event loop** (:class:`~repro.service.server.JobServer`) owns
+  every connection and all job bookkeeping — connection handlers and
+  worker callbacks are messages into the loop, never shared state;
+* one **supervising parent actor per job**
+  (:class:`~repro.service.manager.JobManager`) runs each submission
+  under a :class:`~repro.pipeline.supervisor.ShardSupervisor` in a
+  worker thread: per-job timeout, crashed-worker restart with backoff,
+  kill-based cancellation;
+* the **content store** makes jobs restartable and repeatable — shard
+  and stage checkpoints land in the shared store as they complete, and
+  finished artifacts are published under the job's content fingerprint
+  so identical resubmissions are served without recomputing;
+* progress streams as **events** built from the pipeline's telemetry
+  profile (per-stage seconds plus ``shards_loaded`` /
+  ``shards_computed`` counters), the observable the fault-injection
+  tests assert crash-resume behaviour on.
+
+Wire protocols (JSON-line + a stdlib HTTP subset) live in
+:mod:`repro.service.protocol`; ``repro serve`` is the CLI entry point.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.events import EVENT_TYPES, TERMINAL_STATES, build_event
+from repro.service.executor import execute_job, job_store_key
+from repro.service.harness import ServerThread
+from repro.service.manager import JOB_STATES, JobManager, JobRecord
+from repro.service.server import JobServer, serve
+
+__all__ = [
+    "EVENT_TYPES",
+    "JOB_STATES",
+    "JobManager",
+    "JobRecord",
+    "JobServer",
+    "ServerThread",
+    "ServiceClient",
+    "TERMINAL_STATES",
+    "build_event",
+    "execute_job",
+    "job_store_key",
+    "serve",
+]

@@ -1,0 +1,61 @@
+"""Job lifecycle events: the service's streamed progress vocabulary.
+
+Every job accumulates an ordered transcript of event objects; clients
+replay the transcript on subscription and then receive live events until
+the job reaches a terminal state.  Events are deterministic in structure
+(kind, ordering, counters) — only the ``seconds`` figures inside stage
+events vary run to run — which is what lets the test harness pin exact
+transcripts the way the pipeline tests pin golden digests.
+
+Event kinds, in the order a healthy job emits them:
+
+``submitted`` → ``started`` → ``attempt`` (one per worker launch;
+``attempt >= 2`` means a crashed or expired child was restarted) →
+``stage`` (one per pipeline stage, from the artifact's telemetry profile,
+shard counters included when the stage ran sharded) → ``artifact``
+(``source`` is ``"computed"`` or ``"store"`` — the latter for repeat
+submissions resolved from the content store, which skip the ``attempt``
+and ``stage`` events entirely) → ``completed``.  Failed jobs end with
+``failed`` (carrying ``error``), cancelled jobs with ``cancelled``.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.stages import STAGE_NAMES
+from repro.pipeline.telemetry import profile_stage_rows
+
+#: Every event kind the service emits.
+EVENT_TYPES = (
+    "submitted",
+    "started",
+    "attempt",
+    "stage",
+    "artifact",
+    "completed",
+    "failed",
+    "cancelled",
+)
+
+#: Job states from which no further events follow.
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+def build_event(kind: str, job_id: str, seq: int, **payload) -> dict:
+    """One event object: kind + job + monotonic sequence number + payload."""
+    if kind not in EVENT_TYPES:
+        raise ValueError(f"unknown event kind {kind!r}")
+    event = {"event": kind, "job": job_id, "seq": int(seq)}
+    event.update(payload)
+    return event
+
+
+def stage_event_rows(profile: dict) -> list[dict]:
+    """Per-stage event payloads from an artifact's telemetry profile.
+
+    Pipeline stages come first in execution order (:data:`STAGE_NAMES`);
+    each row carries the stage's aggregate seconds and computed/loaded
+    counts, plus the ``shards_computed`` / ``shards_loaded`` /
+    ``shards_retried`` / ``shards_failed`` counters exactly when the
+    stage ran sharded — the counters the resume tests assert on.
+    """
+    return profile_stage_rows(profile or {}, order=STAGE_NAMES)

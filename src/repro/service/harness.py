@@ -1,0 +1,95 @@
+"""In-process server harness: a :class:`JobServer` on a background thread.
+
+The deterministic fixture the service tests, the docs snippets and the
+benchmarks share.  The server's event loop runs on a dedicated thread;
+the calling thread talks to it over real sockets with the blocking
+:class:`~repro.service.client.ServiceClient` — the same wire path a
+remote client exercises, minus process-boot latency and without needing
+an async test framework.
+
+>>> with ServerThread(store_dir=tmp) as server:      # doctest: +SKIP
+...     job = server.client().submit({"experiment": "fig1", "trials": 1})
+...     transcript = server.client().events(job["job"])
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.exceptions import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.server import JobServer
+
+
+class ServerThread:
+    """Run a job server on an ephemeral port in a background thread.
+
+    Keyword arguments are forwarded to :class:`JobServer` (``store_dir``,
+    ``workers``, ``job_timeout``, ``job_retries``, ``executor_factory``);
+    the port always starts ephemeral unless explicitly pinned.  Use as a
+    context manager, or call :meth:`start` / :meth:`stop` directly.
+    """
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("port", 0)
+        self._kwargs = kwargs
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self.server: JobServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        """Boot the loop thread; returns once the socket is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServiceError("in-process job server failed to start in time")
+        if self._error is not None:
+            raise ServiceError(f"in-process job server died: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 — surfaced via start()
+            self._error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = JobServer(**self._kwargs)
+        self.host, self.port = await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._ready.set()
+        await self._shutdown.wait()
+        await self.server.stop()
+
+    def client(self, timeout: float = 120.0) -> ServiceClient:
+        """A fresh blocking client pointed at this server."""
+        if self.port is None:
+            raise ServiceError("server is not running")
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._loop is not None and self._shutdown is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

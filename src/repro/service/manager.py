@@ -1,0 +1,313 @@
+"""The job manager: one supervising parent actor per submitted job.
+
+The manager is the single owner of all job state.  It lives on the
+server's event loop and is only ever touched from that loop — connection
+handlers call it directly, and the per-job worker threads marshal their
+callbacks back with ``loop.call_soon_threadsafe`` — so there is no lock
+anywhere in the job bookkeeping (the message-passing actor shape the
+ROADMAP's service item asks for).
+
+Per job, the manager runs one :class:`~repro.pipeline.supervisor.ShardSupervisor`
+in a worker thread (``asyncio.to_thread``), supervising a single
+:class:`~repro.pipeline.supervisor.ShardTask` that executes the job.
+That reuses the whole PR 6 supervision contract for free: per-job
+timeout, crashed-child restart with capped backoff, and kill-based
+cancellation through the supervisor's ``cancel`` event.  Job concurrency
+is bounded by a semaphore (the ``--workers`` CLI flag).
+
+Completed artifacts are published to the shared content store under the
+job's content fingerprint; a resubmission of the same job resolves from
+the store without running anything (its transcript shows
+``artifact.source == "store"``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServiceError
+from repro.experiments.runner import job_fingerprint, normalize_job
+from repro.pipeline.supervisor import (
+    ProcessShardExecutor,
+    ShardSupervisor,
+    ShardTask,
+    SupervisorCancelled,
+)
+from repro.service import executor as job_executor
+from repro.service.events import build_event, stage_event_rows
+from repro.store import ContentStore
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+
+#: States from which a job never moves again.
+TERMINAL_JOB_STATES = ("completed", "failed", "cancelled")
+
+
+@dataclass
+class JobRecord:
+    """Everything the manager knows about one submitted job."""
+
+    id: str
+    spec: dict
+    fingerprint: str
+    state: str = "queued"
+    attempts: int = 0
+    error: str | None = None
+    artifact: dict | None = None
+    events: list = field(default_factory=list)
+
+    def status(self) -> dict:
+        """The client-facing status object (no artifact body)."""
+        return {
+            "job": self.id,
+            "experiment": self.spec["experiment"],
+            "state": self.state,
+            "fingerprint": self.fingerprint,
+            "attempts": self.attempts,
+            "events": len(self.events),
+            "error": self.error,
+            "artifact_ready": self.artifact is not None,
+        }
+
+
+class JobManager:
+    """Owns every job's lifecycle; loop-confined (see module docstring)."""
+
+    def __init__(
+        self,
+        *,
+        store_dir=None,
+        workers: int = 2,
+        job_timeout: float | None = None,
+        job_retries: int = 1,
+        executor_factory=None,
+    ):
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.store_dir = None if store_dir is None else str(store_dir)
+        self.job_timeout = job_timeout
+        self.job_retries = job_retries
+        # Non-daemonic workers by default: a job running a sharded sweep
+        # must be able to fork shard worker processes of its own.
+        self._executor_factory = executor_factory or (
+            lambda: ProcessShardExecutor(daemon=False)
+        )
+        # The manager's own handle on the shared store (job namespace).
+        # Deliberately not the process-global store — the server process
+        # never mutates the global configuration its tests control.
+        self._store = (
+            None if self.store_dir is None else ContentStore(root=self.store_dir)
+        )
+        self._jobs: dict[str, JobRecord] = {}
+        self._order: list[str] = []
+        self._cancels: dict[str, threading.Event] = {}
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._semaphore = asyncio.Semaphore(workers)
+        self._ids = itertools.count(1)
+
+    # -- client-facing operations (called from connection handlers) -------
+
+    def submit(self, job: dict) -> JobRecord:
+        """Validate and enqueue one job; returns its (queued) record.
+
+        Raises :class:`~repro.exceptions.ExperimentError` on malformed
+        jobs — nothing is created in that case.
+        """
+        spec = normalize_job(job)
+        fingerprint = job_fingerprint(spec)
+        record = JobRecord(
+            id=f"j{next(self._ids):04d}-{fingerprint[:8]}",
+            spec=spec,
+            fingerprint=fingerprint,
+        )
+        self._jobs[record.id] = record
+        self._order.append(record.id)
+        self._cancels[record.id] = threading.Event()
+        self._subscribers[record.id] = []
+        self._emit(
+            record,
+            "submitted",
+            experiment=spec["experiment"],
+            trials=spec["trials"],
+            fingerprint=fingerprint,
+        )
+        task = asyncio.get_running_loop().create_task(self._run_job(record))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        """The record of ``job_id``; raises :class:`ServiceError` if unknown."""
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return record
+
+    def jobs(self) -> list[JobRecord]:
+        """All records in submission order."""
+        return [self._jobs[job_id] for job_id in self._order]
+
+    def artifact(self, job_id: str) -> dict:
+        """A completed job's artifact; raises if the job is not done."""
+        record = self.get(job_id)
+        if record.artifact is None:
+            raise ServiceError(
+                f"job {job_id} has no artifact (state: {record.state})"
+            )
+        return record.artifact
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Request cancellation; terminal jobs are returned unchanged.
+
+        A queued job cancels immediately.  A running job's supervisor
+        observes the cancel event between sweeps, kills the in-flight
+        worker and raises — best-effort, so a job whose worker finishes
+        first still completes.
+        """
+        record = self.get(job_id)
+        if record.state in TERMINAL_JOB_STATES:
+            return record
+        self._cancels[job_id].set()
+        if record.state == "queued":
+            self._settle(record, "cancelled")
+        return record
+
+    def subscribe(self, job_id: str):
+        """Transcript so far, plus a live queue (``None`` if terminal).
+
+        The queue yields event dicts and then a ``None`` sentinel once
+        the job reaches a terminal state.  Replay and registration happen
+        atomically on the loop, so no event is ever missed or duplicated.
+        """
+        record = self.get(job_id)
+        replay = list(record.events)
+        if record.state in TERMINAL_JOB_STATES:
+            return replay, None
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers[job_id].append(queue)
+        return replay, queue
+
+    def unsubscribe(self, job_id: str, queue) -> None:
+        """Drop a live subscription (client disconnected mid-stream)."""
+        listeners = self._subscribers.get(job_id)
+        if listeners is not None and queue in listeners:
+            listeners.remove(queue)
+
+    async def close(self) -> None:
+        """Cancel every live job and wait for their actors to finish."""
+        for job_id, record in self._jobs.items():
+            if record.state not in TERMINAL_JOB_STATES:
+                self.cancel(job_id)
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # -- the per-job actor -------------------------------------------------
+
+    async def _run_job(self, record: JobRecord) -> None:
+        async with self._semaphore:
+            if record.state != "queued":  # cancelled while waiting its turn
+                return
+            record.state = "running"
+            self._emit(record, "started")
+            try:
+                artifact = await self._resolve_from_store(record)
+                if artifact is not None:
+                    record.artifact = artifact
+                    self._emit(
+                        record,
+                        "artifact",
+                        source="store",
+                        records=len(artifact["records"]),
+                    )
+                    self._settle(record, "completed")
+                    return
+                artifact = await self._supervise(record)
+                record.artifact = artifact
+                for row in stage_event_rows(artifact.get("profile")):
+                    self._emit(record, "stage", **row)
+                self._emit(
+                    record,
+                    "artifact",
+                    source="computed",
+                    records=len(artifact["records"]),
+                )
+                await self._publish(record, artifact)
+            except SupervisorCancelled:
+                self._settle(record, "cancelled")
+                return
+            except Exception as error:  # noqa: BLE001 — the actor must
+                # settle the job whatever went wrong; an unsettled job
+                # would hang every subscriber forever.
+                record.error = str(error)
+                self._settle(record, "failed", error=record.error)
+                return
+            self._settle(record, "completed", attempts=record.attempts)
+
+    async def _supervise(self, record: JobRecord) -> dict:
+        """Run the job under a fresh supervisor in a worker thread."""
+        loop = asyncio.get_running_loop()
+
+        def on_attempt(index: int, attempt: int) -> None:
+            # Fires on the supervisor thread; marshal back to the loop.
+            loop.call_soon_threadsafe(self._note_attempt, record, attempt)
+
+        supervisor = ShardSupervisor(
+            self._executor_factory(),
+            timeout=self.job_timeout,
+            retries=self.job_retries,
+            backoff_base=0.01,
+            on_failure="raise",
+        )
+        task = ShardTask(
+            index=0,
+            fn=job_executor.execute_job,
+            args=({"job": record.spec, "store_dir": self.store_dir},),
+        )
+        outcomes = await asyncio.to_thread(
+            supervisor.run,
+            [task],
+            on_attempt=on_attempt,
+            cancel=self._cancels[record.id],
+        )
+        return outcomes[0].value
+
+    def _note_attempt(self, record: JobRecord, attempt: int) -> None:
+        if record.state in TERMINAL_JOB_STATES:
+            return
+        record.attempts = attempt
+        self._emit(record, "attempt", attempt=attempt, restarted=attempt > 1)
+
+    async def _resolve_from_store(self, record: JobRecord) -> dict | None:
+        if self._store is None:
+            return None
+        return await asyncio.to_thread(
+            job_executor.load_artifact, self._store, record.fingerprint
+        )
+
+    async def _publish(self, record: JobRecord, artifact: dict) -> None:
+        if self._store is None:
+            return
+        await asyncio.to_thread(
+            job_executor.publish_artifact, self._store, record.fingerprint, artifact
+        )
+
+    # -- event plumbing (loop-confined) ------------------------------------
+
+    def _emit(self, record: JobRecord, kind: str, **payload) -> None:
+        event = build_event(kind, record.id, len(record.events), **payload)
+        record.events.append(event)
+        for queue in self._subscribers.get(record.id, ()):
+            queue.put_nowait(event)
+
+    def _settle(self, record: JobRecord, state: str, **payload) -> None:
+        """Move a job to a terminal state and close its subscriptions."""
+        record.state = state
+        self._emit(record, state, **payload)
+        for queue in self._subscribers.pop(record.id, ()):
+            queue.put_nowait(None)
+        self._subscribers[record.id] = []

@@ -1,0 +1,92 @@
+"""Wire formats of the clustering-as-a-service job server.
+
+One listening socket speaks two protocols, distinguished by the first
+line of each connection:
+
+* **JSON-line** — every message is one JSON object per ``\\n``-terminated
+  line.  Requests carry an ``op`` field (``ping``, ``submit``, ``status``,
+  ``jobs``, ``artifact``, ``cancel``, ``events``); responses carry
+  ``ok: true`` plus op-specific fields, or ``ok: false`` with an
+  ``error`` string.  The ``events`` op streams one event object per line
+  (recognizable by its ``event`` field) followed by a terminal
+  ``{"ok": true, "done": true, ...}`` line.
+* **HTTP/1.1 subset** — a first line that does not start with ``{`` is
+  parsed as an HTTP request line.  Bodies are JSON; the event stream is
+  newline-delimited JSON with ``Connection: close`` framing (the response
+  ends when the job reaches a terminal state and the server closes).
+
+Everything here is framing only — no job semantics.  Both sides are
+stdlib-only by design (``json`` + sockets), so any client that can open
+a TCP connection can drive the service.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.exceptions import ServiceError
+
+#: Maximum bytes of one protocol line (guards ``readline`` buffering).
+MAX_LINE_BYTES = 1 << 20
+
+_HTTP_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+def encode_line(message: dict) -> bytes:
+    """Serialize one protocol message as a JSON line."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(raw: bytes) -> dict:
+    """Parse one protocol line into a message object.
+
+    Raises :class:`~repro.exceptions.ServiceError` on anything that is
+    not a single JSON object — the server answers those with an
+    ``ok: false`` reply instead of dying.
+    """
+    try:
+        message = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ServiceError(f"malformed protocol line: {error}") from error
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"protocol line must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def http_response(status: int, payload: dict) -> bytes:
+    """One complete HTTP response with a JSON body."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    head = (
+        f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def http_stream_head(status: int = 200) -> bytes:
+    """Header block of a streamed newline-delimited JSON response.
+
+    No ``Content-Length`` — the stream ends when the server closes the
+    connection (``Connection: close`` framing), which happens when the
+    job reaches a terminal state.
+    """
+    head = (
+        f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii")

@@ -1,0 +1,306 @@
+"""The asyncio job server: one event loop owning every connection.
+
+:class:`JobServer` binds a single listening socket and sniffs each
+connection's first line — a line opening with ``{`` starts a JSON-line
+session, anything else is parsed as an HTTP request (see
+:mod:`repro.service.protocol`).  All I/O and all job bookkeeping run on
+the one event loop; only job execution leaves it, into per-job
+supervisor threads managed by :class:`~repro.service.manager.JobManager`.
+
+REST surface (the JSON-line ops mirror it one to one):
+
+========  =========================  ======================================
+method    path                       meaning
+========  =========================  ======================================
+POST      ``/jobs``                  submit a job object → 202 + status
+GET       ``/jobs``                  list job statuses
+GET       ``/jobs/<id>``             one job's status
+GET       ``/jobs/<id>/artifact``    the finished artifact (409 if not done)
+GET       ``/jobs/<id>/events``      replay + live event stream (ndjson)
+DELETE    ``/jobs/<id>``             request cancellation
+========  =========================  ======================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.manager import JobManager
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_line,
+    http_response,
+    http_stream_head,
+)
+
+
+class JobServer:
+    """A job service bound to one host/port (``port=0`` = ephemeral)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        store_dir=None,
+        workers: int = 2,
+        job_timeout: float | None = None,
+        job_retries: int = 1,
+        executor_factory=None,
+    ):
+        self.manager = JobManager(
+            store_dir=store_dir,
+            workers=workers,
+            job_timeout=job_timeout,
+            job_retries=job_retries,
+            executor_factory=executor_factory,
+        )
+        self._requested = (host, port)
+        self._server: asyncio.AbstractServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual (host, port)."""
+        host, port = self._requested
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=MAX_LINE_BYTES
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Block until the server is closed (CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel live jobs, wait for their actors."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.manager.close()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.lstrip().startswith(b"{"):
+                await self._json_session(first, reader, writer)
+            else:
+                await self._http_session(first, reader, writer)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            ValueError,  # overlong protocol line
+        ):
+            pass  # client went away or sent garbage framing; drop it
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection's task; finish
+            # normally so the streams machinery doesn't log the teardown.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- JSON-line sessions -------------------------------------------------
+
+    async def _json_session(self, first: bytes, reader, writer) -> None:
+        line = first
+        while True:
+            if line.strip():
+                await self._answer_json(line, reader, writer)
+            line = await reader.readline()
+            if not line:
+                return
+
+    async def _answer_json(self, line: bytes, reader, writer) -> None:
+        try:
+            message = decode_line(line)
+            op = message.get("op")
+            if op == "events":
+                await self._stream_events(
+                    str(message.get("job")), writer, encode_line
+                )
+                return
+            reply = self._dispatch(op, message)
+        except ReproError as error:
+            reply = {"ok": False, "error": str(error)}
+        writer.write(encode_line(reply))
+        await writer.drain()
+
+    def _dispatch(self, op, message: dict) -> dict:
+        """Non-streaming ops; raises ReproError for protocol errors."""
+        manager = self.manager
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            record = manager.submit(message.get("spec", message.get("job")))
+            return {"ok": True, **record.status()}
+        if op == "status":
+            return {"ok": True, **manager.get(str(message.get("job"))).status()}
+        if op == "jobs":
+            return {
+                "ok": True,
+                "jobs": [record.status() for record in manager.jobs()],
+            }
+        if op == "artifact":
+            return {
+                "ok": True,
+                "artifact": manager.artifact(str(message.get("job"))),
+            }
+        if op == "cancel":
+            return {"ok": True, **manager.cancel(str(message.get("job"))).status()}
+        raise ServiceError(f"unknown op {op!r}")
+
+    async def _stream_events(self, job_id: str, writer, frame) -> None:
+        """Replay a job's transcript, then stream live events to terminal.
+
+        ``frame`` turns one event object into wire bytes — the same
+        streaming core serves the JSON-line op and the HTTP route.
+        """
+        replay, queue = self.manager.subscribe(job_id)
+        try:
+            for event in replay:
+                writer.write(frame(event))
+            await writer.drain()
+            if queue is not None:
+                while True:
+                    event = await queue.get()
+                    if event is None:
+                        break
+                    writer.write(frame(event))
+                    await writer.drain()
+            state = self.manager.get(job_id).state
+            writer.write(frame({"ok": True, "done": True, "state": state}))
+            await writer.drain()
+        finally:
+            if queue is not None:
+                self.manager.unsubscribe(job_id, queue)
+
+    # -- HTTP sessions ------------------------------------------------------
+
+    async def _http_session(self, first: bytes, reader, writer) -> None:
+        parts = first.decode("latin-1").split()
+        if len(parts) < 2:
+            writer.write(http_response(400, {"error": "malformed request line"}))
+            await writer.drain()
+            return
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length") or 0)
+        if length:
+            body = await reader.readexactly(length)
+        await self._route_http(method, target, body, writer)
+
+    async def _route_http(self, method, target, body, writer) -> None:
+        manager = self.manager
+        path = target.split("?", 1)[0].rstrip("/")
+        segments = [part for part in path.split("/") if part]
+        try:
+            if segments == ["jobs"]:
+                if method == "POST":
+                    try:
+                        job = json.loads(body.decode("utf-8") or "null")
+                    except ValueError as error:
+                        raise ServiceError(f"request body is not JSON: {error}")
+                    record = manager.submit(job)
+                    writer.write(http_response(202, record.status()))
+                elif method == "GET":
+                    statuses = [record.status() for record in manager.jobs()]
+                    writer.write(http_response(200, {"jobs": statuses}))
+                else:
+                    writer.write(http_response(405, {"error": "use GET or POST"}))
+            elif len(segments) == 2 and segments[0] == "jobs":
+                job_id = segments[1]
+                if method == "GET":
+                    writer.write(http_response(200, manager.get(job_id).status()))
+                elif method == "DELETE":
+                    writer.write(http_response(200, manager.cancel(job_id).status()))
+                else:
+                    writer.write(
+                        http_response(405, {"error": "use GET or DELETE"})
+                    )
+            elif len(segments) == 3 and segments[0] == "jobs" and method == "GET":
+                job_id, leaf = segments[1], segments[2]
+                if leaf == "artifact":
+                    manager.get(job_id)  # 404 before 409
+                    try:
+                        artifact = manager.artifact(job_id)
+                    except ServiceError as error:
+                        writer.write(http_response(409, {"error": str(error)}))
+                    else:
+                        writer.write(http_response(200, artifact))
+                elif leaf == "events":
+                    manager.get(job_id)
+                    writer.write(http_stream_head(200))
+                    await self._stream_events(job_id, writer, encode_line)
+                    return
+                else:
+                    writer.write(http_response(404, {"error": "unknown route"}))
+            else:
+                writer.write(http_response(404, {"error": "unknown route"}))
+        except ServiceError as error:
+            status = 404 if "unknown job" in str(error) else 400
+            writer.write(http_response(status, {"error": str(error)}))
+        except ReproError as error:
+            writer.write(http_response(400, {"error": str(error)}))
+        await writer.drain()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8831,
+    *,
+    store_dir=None,
+    workers: int = 2,
+    job_timeout: float | None = None,
+    job_retries: int = 1,
+) -> int:
+    """Run a job server until interrupted (the ``repro serve`` command).
+
+    Prints one readiness line (``repro serve: listening on HOST:PORT``)
+    once the socket is bound — with ``--port 0`` that line is how callers
+    learn the ephemeral port — and shuts down cleanly on Ctrl-C.
+    """
+
+    async def _main() -> None:
+        server = JobServer(
+            host,
+            port,
+            store_dir=store_dir,
+            workers=workers,
+            job_timeout=job_timeout,
+            job_retries=job_retries,
+        )
+        bound_host, bound_port = await server.start()
+        print(f"repro serve: listening on {bound_host}:{bound_port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro serve: shut down", flush=True)
+    return 0

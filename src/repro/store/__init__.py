@@ -15,11 +15,14 @@ from repro.store.content_store import (
     COUNTER_KEYS,
     DEFAULT_DISK_BYTES,
     DEFAULT_MEMORY_BYTES,
+    JOB_NAMESPACE,
     ContentStore,
     active_store,
     configure_store,
     content_key,
+    decode_json_payload,
     decode_payload,
+    encode_json_payload,
     encode_payload,
     get_store,
     store_counters,
@@ -30,11 +33,14 @@ __all__ = [
     "COUNTER_KEYS",
     "DEFAULT_DISK_BYTES",
     "DEFAULT_MEMORY_BYTES",
+    "JOB_NAMESPACE",
     "ContentStore",
     "active_store",
     "configure_store",
     "content_key",
+    "decode_json_payload",
     "decode_payload",
+    "encode_json_payload",
     "encode_payload",
     "get_store",
     "store_counters",

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import io
+import json
 import os
 import pathlib
 import re
@@ -79,6 +80,13 @@ COUNTER_KEYS = (
     "disk_evictions",
     "corrupt_evictions",
 )
+
+#: Namespace of served job artifacts — validated ``repro.sweep/1``
+#: dictionaries the service layer stores under the job's content
+#: fingerprint (see :func:`repro.experiments.runner.job_fingerprint`),
+#: wrapped via :func:`encode_json_payload` so repeat submissions of the
+#: same job resolve without recomputing anything.
+JOB_NAMESPACE = "job"
 
 #: File suffix of on-disk entries.
 _ENTRY_SUFFIX = ".cas"
@@ -153,6 +161,29 @@ def decode_payload(blob: bytes, namespace: str | None = None, key: str | None = 
     if namespace is not None and identity != _entry_identity(namespace, key):
         raise StoreError("store entry belongs to a different namespace/key")
     return payload
+
+
+def encode_json_payload(value) -> dict:
+    """Wrap a JSON-serializable value as a store payload.
+
+    The store's native payloads are dicts of numpy arrays; JSON documents
+    (job artifacts) ride along as one uint8 byte array of their canonical
+    serialization, gaining the same checksum/atomic-write/eviction
+    machinery as every other entry.
+    """
+    data = json.dumps(value, sort_keys=True).encode("utf-8")
+    return {"json": np.frombuffer(data, dtype=np.uint8).copy()}
+
+
+def decode_json_payload(payload: dict):
+    """Invert :func:`encode_json_payload`; raises :class:`StoreError`."""
+    array = payload.get("json")
+    if array is None:
+        raise StoreError("store payload carries no JSON document")
+    try:
+        return json.loads(bytes(np.asarray(array, dtype=np.uint8)).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise StoreError(f"store JSON payload is unreadable: {error}") from error
 
 
 def _payload_nbytes(payload: dict) -> int:

@@ -1,10 +1,11 @@
 """Tests for the unified sweep engine (``repro.experiments.runner``)."""
 
 import json
+import os
 
 import pytest
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ClusteringError, ExperimentError
 from repro.experiments import fig2_precision_sweep, fig4_shots_sweep
 from repro.experiments.common import TrialRecord
 from repro.experiments.runner import (
@@ -58,6 +59,13 @@ def counter_poking_trial(point, trial, seed, rng) -> list:
             seed=seed,
         )
     ]
+
+
+def hard_exiting_trial(point, trial, seed, rng) -> list:
+    """A stand-in for a segfaulted or OOM-killed worker: the process
+    dies without a traceback or a piped-back result (module level so the
+    parallel path can pickle it)."""
+    os._exit(13)
 
 
 def tiny_spec(**overrides) -> SweepSpec:
@@ -151,6 +159,17 @@ class TestSweepRunner:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ExperimentError):
             SweepRunner(tiny_spec(), jobs=0)
+
+    def test_worker_death_surfaces_as_a_clustering_error_naming_the_task(self):
+        """A hard-exited worker used to escape as a raw
+        ``BrokenProcessPool``; the runner now wraps it with the sweep
+        name and the task coordinates so the operator knows what to
+        resubmit."""
+        spec = tiny_spec(trial=hard_exiting_trial, trials=1, fixed={})
+        with pytest.raises(ClusteringError, match=r"sweep 'toy' task 0") as info:
+            SweepRunner(spec, jobs=2).run()
+        assert "worker process died mid-task" in str(info.value)
+        assert "point={'x': 1}" in str(info.value)
 
     def test_trial_must_return_records(self):
         def bad_trial(point, trial, seed, rng):

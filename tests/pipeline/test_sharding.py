@@ -40,6 +40,7 @@ from repro.pipeline.supervisor import (
     ShardHandle,
     ShardSupervisor,
     ShardTask,
+    SupervisorCancelled,
     _CompletedHandle,
 )
 
@@ -247,6 +248,54 @@ class TestSupervisor:
             on_complete=lambda outcome: seen.append(outcome.index),
         )
         assert sorted(seen) == [0, 1]
+
+    def test_on_attempt_fires_per_launch(self):
+        executor = FaultyShardExecutor({(0, 1): "crash"})
+        supervisor = ShardSupervisor(executor, retries=2, backoff_base=0.0)
+        launches = []
+        supervisor.run(
+            [ShardTask(0, lambda: "payload")],
+            on_attempt=lambda index, attempt: launches.append((index, attempt)),
+        )
+        # One callback per launch, attempt numbers 1-based — attempt 2 is
+        # the restart the service layer reports as a restarted child.
+        assert launches == [(0, 1), (0, 2)]
+
+    def test_cancel_event_aborts_and_kills_in_flight(self):
+        import threading
+
+        cancel = threading.Event()
+        executor = FaultyShardExecutor(_always("hang", 0))
+        supervisor = ShardSupervisor(executor, retries=0, backoff_base=0.0)
+        with pytest.raises(SupervisorCancelled, match="cancelled"):
+            supervisor.run(
+                [ShardTask(0, lambda: None)],
+                # Trip the cancel right after the attempt launches, so
+                # the next sweep observes it with the attempt in flight.
+                on_attempt=lambda index, attempt: cancel.set(),
+                cancel=cancel,
+            )
+        assert executor.hung[0].killed
+
+    def test_cancel_spares_already_completed_work(self):
+        import threading
+
+        cancel = threading.Event()
+        completed = []
+        supervisor = ShardSupervisor(retries=0, max_workers=1)
+
+        def on_complete(outcome):
+            completed.append(outcome.index)
+            cancel.set()  # cancel after the first task checkpoints
+
+        with pytest.raises(SupervisorCancelled):
+            supervisor.run(
+                [ShardTask(0, lambda: "x"), ShardTask(1, lambda: "y")],
+                on_complete,
+                cancel=cancel,
+            )
+        # Task 0 completed (and would have checkpointed); task 1 never ran.
+        assert completed == [0]
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ClusteringError, match="timeout"):
@@ -557,40 +606,36 @@ class TestCrashResume:
         assert all(row["source"] == "checkpoint" for row in readout["shards"])
 
     def test_store_resume_recomputes_corrupted_shard_entry(
-        self, monkeypatch, tmp_path
+        self, monkeypatch, tmp_path, pristine_store
     ):
         """Same healing through the shared content-addressed store: a
         corrupt shard entry is evicted and recomputed while the sibling
         shards (and the upstream stages) are served from the store."""
-        from repro.store import configure_store, get_store
+        from repro.store import get_store
 
         monkeypatch.setattr(
             sharding, "default_executor", lambda count: InlineShardExecutor()
         )
         graph, k, config = build_case("analytic_shots")
         config = config.with_updates(store_dir=str(tmp_path / "store"))
-        try:
-            _run_sharded(graph, k, config, 5)  # cold run fills the store
-            store = get_store()
-            entry = _shard_store_entry(store, "readout.shard-1")
-            blob = bytearray(entry.read_bytes())
-            blob[len(blob) // 2] ^= 0xFF
-            entry.write_bytes(bytes(blob))
-            _, result = _run_sharded(graph, k, config, 5, resume_from="readout")
-            assert result_digest(result) == GOLDEN["analytic_shots"]
-            readout = [r for r in result.profile if r["stage"] == "readout"][0]
-            sources = {row["shard"]: row["source"] for row in readout["shards"]}
-            assert sources == {
-                0: "checkpoint",
-                1: "computed",
-                2: "checkpoint",
-                3: "checkpoint",
-                4: "checkpoint",
-            }
-            assert store.counters()["corrupt_evictions"] >= 1
-        finally:
-            configure_store(root=None)
-            get_store().clear_memory()
+        _run_sharded(graph, k, config, 5)  # cold run fills the store
+        store = get_store()
+        entry = _shard_store_entry(store, "readout.shard-1")
+        blob = bytearray(entry.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        _, result = _run_sharded(graph, k, config, 5, resume_from="readout")
+        assert result_digest(result) == GOLDEN["analytic_shots"]
+        readout = [r for r in result.profile if r["stage"] == "readout"][0]
+        sources = {row["shard"]: row["source"] for row in readout["shards"]}
+        assert sources == {
+            0: "checkpoint",
+            1: "computed",
+            2: "checkpoint",
+            3: "checkpoint",
+            4: "checkpoint",
+        }
+        assert store.counters()["corrupt_evictions"] >= 1
 
     def test_shard_checkpoint_rejects_different_context(
         self, monkeypatch, tmp_path

@@ -1,0 +1,203 @@
+"""Fault tolerance of the served path: kills, restarts, cancellation.
+
+The acceptance test of this suite is
+``test_killed_job_resubmits_and_recomputes_only_missing_shards``: a job
+whose worker dies mid-readout leaves its completed shards checkpointed
+in the shared store, and the resubmitted job finishes by loading those
+shards and recomputing only the one that never landed — asserted from
+the ``shards_loaded`` / ``shards_computed`` counters in the streamed
+stage telemetry, not from timing.
+"""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.experiments.runner import SweepRunner, spec_from_job
+from repro.pipeline import sharding
+from repro.pipeline.supervisor import InlineShardExecutor, ShardHandle
+
+from test_sharding import FaultyShardExecutor, _always
+
+
+class _HungJobHandle(ShardHandle):
+    """A job attempt that never finishes; cancellation must kill it."""
+
+    def __init__(self):
+        self.killed = False
+
+    def done(self) -> bool:
+        return False
+
+    def result(self):
+        raise AssertionError("a hung job has no result")
+
+    def kill(self) -> None:
+        self.killed = True
+
+
+class _HangingJobExecutor:
+    """Every job attempt hangs forever (until killed)."""
+
+    def __init__(self):
+        self.hung = []
+
+    def submit(self, task, attempt):
+        handle = _HungJobHandle()
+        self.hung.append(handle)
+        return handle
+
+
+class TestShardCheckpointResume:
+    def test_killed_job_resubmits_and_recomputes_only_missing_shards(
+        self, service_server, small_fig1_job, tmp_path, monkeypatch
+    ):
+        """Kill the job mid-readout, resubmit, and prove the completion
+        came from shard checkpoints: 2 loaded, 1 recomputed."""
+        healthy = sharding.default_executor
+        server = service_server(
+            store_dir=tmp_path / "store",
+            executor_factory=InlineShardExecutor,
+            job_retries=0,
+        )
+        client = server.client()
+        small_fig1_job["overrides"]["readout_shards"] = 3
+
+        # First submission: shard 1 of the readout dies on every attempt,
+        # so the job's (single) attempt fails — but shards 0 and 2 have
+        # already been persisted to the shared store by then.
+        monkeypatch.setattr(
+            sharding,
+            "default_executor",
+            lambda count: FaultyShardExecutor(_always("crash", 1)),
+        )
+        first = client.submit(small_fig1_job)["job"]
+        transcript = client.events(first)
+        assert transcript[-1]["event"] == "failed"
+        assert "shard 1" in transcript[-1]["error"]
+        assert client.status(first)["state"] == "failed"
+        with pytest.raises(ServiceError, match="artifact"):
+            client.artifact(first)
+
+        # Resubmission with the fault cleared: same fingerprint, fresh
+        # job.  The readout stage must load the two surviving shards and
+        # compute exactly the missing one.
+        monkeypatch.setattr(sharding, "default_executor", healthy)
+        second = client.submit(small_fig1_job)["job"]
+        transcript = client.events(second)
+        assert transcript[-1]["event"] == "completed"
+        stage_events = [e for e in transcript if e["event"] == "stage"]
+        readout = next(e for e in stage_events if e["stage"] == "readout")
+        assert readout["shards_loaded"] == 2
+        assert readout["shards_computed"] == 1
+        assert readout["shards_failed"] == 0
+
+        # And the artifact is still record-identical to a direct run.
+        direct = SweepRunner(spec_from_job(small_fig1_job), jobs=1).run()
+        records = client.artifact(second)["records"]
+        assert records == direct.to_artifact()["records"]
+
+
+class TestJobRestart:
+    def test_crashed_job_worker_is_restarted(self, service_server, small_fig1_job):
+        """The per-job supervisor treats a dead worker like a dead shard:
+        attempt 1 crashes, attempt 2 is launched with ``restarted`` set,
+        and the job still completes."""
+        server = service_server(
+            executor_factory=lambda: FaultyShardExecutor({(0, 1): "crash"}),
+            job_retries=1,
+        )
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        transcript = client.events(job_id)
+        attempts = [e for e in transcript if e["event"] == "attempt"]
+        assert [(e["attempt"], e["restarted"]) for e in attempts] == [
+            (1, False),
+            (2, True),
+        ]
+        assert transcript[-1]["event"] == "completed"
+        assert transcript[-1]["attempts"] == 2
+        assert client.status(job_id)["attempts"] == 2
+
+    def test_job_exhausting_retries_fails_with_the_shard_error(
+        self, service_server, small_fig1_job
+    ):
+        server = service_server(
+            executor_factory=lambda: FaultyShardExecutor(_always("crash", 0)),
+            job_retries=1,
+        )
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        transcript = client.events(job_id)
+        assert [e["event"] for e in transcript[:2]] == ["submitted", "started"]
+        assert transcript[-1]["event"] == "failed"
+        assert "injected crash" in transcript[-1]["error"]
+        status = client.status(job_id)
+        assert status["state"] == "failed"
+        assert status["error"] == transcript[-1]["error"]
+        with pytest.raises(ServiceError):
+            client.artifact(job_id)
+
+
+class TestCancellation:
+    def test_cancel_running_job_kills_its_worker(
+        self, service_server, small_fig1_job, wait_until
+    ):
+        executors = []
+
+        def factory():
+            executor = _HangingJobExecutor()
+            executors.append(executor)
+            return executor
+
+        server = service_server(executor_factory=factory)
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        wait_until(
+            lambda: client.status(job_id)["state"] == "running",
+            message="job to start",
+        )
+        wait_until(lambda: executors and executors[0].hung, message="job launch")
+        assert client.cancel(job_id)["state"] in ("running", "cancelled")
+        wait_until(
+            lambda: client.status(job_id)["state"] == "cancelled",
+            message="cancellation to land",
+        )
+        transcript = client.events(job_id)
+        assert transcript[-1]["event"] == "cancelled"
+        assert executors[0].hung[0].killed
+
+    def test_cancel_queued_job_never_starts_it(
+        self, service_server, small_fig1_job, wait_until
+    ):
+        server = service_server(executor_factory=_HangingJobExecutor, workers=1)
+        client = server.client()
+        first = client.submit(small_fig1_job)["job"]
+        wait_until(
+            lambda: client.status(first)["state"] == "running",
+            message="first job to occupy the only worker",
+        )
+        second = client.submit(small_fig1_job)["job"]
+        assert client.status(second)["state"] == "queued"
+        client.cancel(second)
+        wait_until(
+            lambda: client.status(second)["state"] == "cancelled",
+            message="queued cancellation",
+        )
+        assert [e["event"] for e in client.events(second)] == [
+            "submitted",
+            "cancelled",
+        ]
+        client.cancel(first)  # unblock teardown
+        wait_until(
+            lambda: client.status(first)["state"] == "cancelled",
+            message="running cancellation",
+        )
+
+    def test_cancelling_a_finished_job_is_a_no_op(
+        self, service_server, small_fig1_job
+    ):
+        client = service_server(executor_factory=InlineShardExecutor).client()
+        job_id = client.submit(small_fig1_job)["job"]
+        client.events(job_id)
+        assert client.cancel(job_id)["state"] == "completed"
+        assert client.status(job_id)["state"] == "completed"

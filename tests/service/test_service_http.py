@@ -1,0 +1,170 @@
+"""The stdlib-only HTTP facade and the JSON-line protocol edges.
+
+Everything here talks to a real listening socket: ``http.client`` for
+the REST routes, raw sockets for protocol-level garbage.  No third-party
+HTTP stack is involved on either side, matching the no-new-dependencies
+constraint the service was built under.
+"""
+
+import http.client
+import json
+import socket
+
+from repro.pipeline.supervisor import InlineShardExecutor
+
+from test_service_faults import _HangingJobExecutor
+
+
+def _request(server, method, path, body=None):
+    """One HTTP request → (status, decoded JSON body)."""
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    payload = None if body is None else json.dumps(body).encode("utf-8")
+    connection.request(method, path, body=payload)
+    response = connection.getresponse()
+    raw = response.read()
+    connection.close()
+    return response.status, json.loads(raw) if raw else None
+
+
+def _stream(server, path):
+    """GET an ndjson stream → (status, list of decoded lines)."""
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    connection.request("GET", path)
+    response = connection.getresponse()
+    raw = response.read()  # Connection: close terminates the stream
+    connection.close()
+    lines = [json.loads(line) for line in raw.splitlines() if line.strip()]
+    return response.status, lines
+
+
+class TestRestRoutes:
+    def test_submit_watch_and_fetch_lifecycle(self, service_server, small_fig1_job):
+        server = service_server(executor_factory=InlineShardExecutor)
+        status, submitted = _request(server, "POST", "/jobs", small_fig1_job)
+        assert status == 202
+        job_id = submitted["job"]
+        assert submitted["state"] in ("queued", "running")
+
+        status, events = _stream(server, f"/jobs/{job_id}/events")
+        assert status == 200
+        assert events[-1] == {"ok": True, "done": True, "state": "completed"}
+        kinds = [event["event"] for event in events[:-1]]
+        assert kinds[0] == "submitted" and kinds[-1] == "completed"
+
+        status, body = _request(server, "GET", f"/jobs/{job_id}")
+        assert status == 200 and body["state"] == "completed"
+
+        status, listing = _request(server, "GET", "/jobs")
+        assert status == 200
+        assert [entry["job"] for entry in listing["jobs"]] == [job_id]
+
+        status, artifact = _request(server, "GET", f"/jobs/{job_id}/artifact")
+        assert status == 200
+        assert artifact["schema"] == "repro.sweep/1"
+        assert len(artifact["records"]) > 0
+
+    def test_artifact_before_completion_is_a_conflict(
+        self, service_server, small_fig1_job, wait_until
+    ):
+        server = service_server(executor_factory=_HangingJobExecutor)
+        _, submitted = _request(server, "POST", "/jobs", small_fig1_job)
+        job_id = submitted["job"]
+        status, body = _request(server, "GET", f"/jobs/{job_id}/artifact")
+        assert status == 409
+        assert "artifact" in body["error"]
+        status, body = _request(server, "DELETE", f"/jobs/{job_id}")
+        assert status == 200
+        wait_until(
+            lambda: _request(server, "GET", f"/jobs/{job_id}")[1]["state"]
+            == "cancelled",
+            message="DELETE-initiated cancellation",
+        )
+
+    def test_error_statuses_are_distinguished(self, service_server):
+        server = service_server(executor_factory=InlineShardExecutor)
+        assert _request(server, "GET", "/jobs/nope")[0] == 404
+        assert _request(server, "GET", "/jobs/nope/artifact")[0] == 404
+        assert _request(server, "GET", "/jobs/nope/events")[0] == 404
+        assert _request(server, "DELETE", "/jobs/nope")[0] == 404
+        assert _request(server, "GET", "/elsewhere")[0] == 404
+        assert _request(server, "PUT", "/jobs")[0] == 405
+        status, body = _request(server, "POST", "/jobs", {"experiment": "zzz"})
+        assert status == 400 and "unknown experiment" in body["error"]
+
+    def test_non_json_body_is_a_bad_request(self, service_server):
+        server = service_server(executor_factory=InlineShardExecutor)
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        connection.request("POST", "/jobs", body=b"not json at all")
+        response = connection.getresponse()
+        body = json.loads(response.read())
+        connection.close()
+        assert response.status == 400
+        assert "not JSON" in body["error"]
+
+    def test_malformed_request_line_is_rejected_not_fatal(
+        self, service_server, small_fig1_job
+    ):
+        """A garbage opening line gets a 400; the server keeps serving."""
+        server = service_server(executor_factory=InlineShardExecutor)
+        with socket.create_connection((server.host, server.port), timeout=60) as sock:
+            sock.sendall(b"HELLO\r\n\r\n")
+            raw = sock.makefile("rb").read()
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+        status, _ = _request(server, "GET", "/jobs")
+        assert status == 200
+
+
+class TestJsonLineProtocol:
+    def _session(self, server, lines):
+        """Send raw lines over one connection, one reply line each."""
+        replies = []
+        with socket.create_connection((server.host, server.port), timeout=60) as sock:
+            stream = sock.makefile("rwb")
+            for line in lines:
+                stream.write(line)
+                stream.flush()
+                replies.append(json.loads(stream.readline()))
+        return replies
+
+    def test_ping_and_multiple_ops_per_connection(
+        self, service_server, small_fig1_job
+    ):
+        server = service_server(executor_factory=InlineShardExecutor)
+        spec = json.dumps(small_fig1_job).encode("utf-8")
+        replies = self._session(
+            server,
+            [
+                b'{"op": "ping"}\n',
+                b'{"op": "submit", "job": ' + spec + b"}\n",
+                b'{"op": "jobs"}\n',
+            ],
+        )
+        assert replies[0] == {"ok": True, "pong": True}
+        assert replies[1]["ok"] and replies[1]["job"]
+        assert [j["job"] for j in replies[2]["jobs"]] == [replies[1]["job"]]
+
+    def test_protocol_errors_answer_in_band(self, service_server):
+        server = service_server(executor_factory=InlineShardExecutor)
+        replies = self._session(
+            server,
+            [
+                b'{"op": "warp"}\n',
+                b"{this is not json\n",
+                b'{"op": "status", "job": "nope"}\n',
+                b'{"op": "ping"}\n',  # the session survives all of it
+            ],
+        )
+        assert not replies[0]["ok"] and "unknown op" in replies[0]["error"]
+        assert not replies[1]["ok"]
+        assert not replies[2]["ok"] and "unknown job" in replies[2]["error"]
+        assert replies[3] == {"ok": True, "pong": True}
+
+    def test_blank_lines_are_ignored(self, service_server):
+        server = service_server(executor_factory=InlineShardExecutor)
+        with socket.create_connection((server.host, server.port), timeout=60) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b'{"op": "ping"}\n\n\n{"op": "ping"}\n')
+            stream.flush()
+            first = json.loads(stream.readline())
+            second = json.loads(stream.readline())
+        assert first == second == {"ok": True, "pong": True}

@@ -1,0 +1,176 @@
+"""Job lifecycle through the served path: identity, transcripts, store reuse.
+
+The headline contract (the ISSUE's acceptance criterion): a fig1 job
+submitted through ``repro serve`` yields a ``repro.sweep/1`` artifact
+whose records are identical to the same sweep run directly through
+:class:`~repro.experiments.runner.SweepRunner` — serving is a transport,
+never a semantics change.
+"""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.experiments.runner import (
+    SweepRunner,
+    job_fingerprint,
+    spec_from_job,
+    validate_artifact,
+)
+from repro.pipeline import STAGE_NAMES
+from repro.pipeline.supervisor import InlineShardExecutor
+
+
+def _direct_records(job):
+    """The records of the same job run directly, without the service."""
+    return SweepRunner(spec_from_job(job), jobs=1).run().to_artifact()["records"]
+
+
+class TestServedExecution:
+    def test_served_fig1_record_identical_to_direct_run(
+        self, service_server, small_fig1_job, tmp_path
+    ):
+        """End to end through a real worker process (the default
+        non-daemonic ProcessShardExecutor): the served artifact validates
+        and its records match the direct run bit for bit."""
+        server = service_server(store_dir=tmp_path / "store")
+        client = server.client()
+        submitted = client.submit(small_fig1_job)
+        assert submitted["state"] in ("queued", "running")
+        transcript = client.events(submitted["job"])
+        artifact = client.artifact(submitted["job"])
+        validate_artifact(artifact)
+        assert artifact["records"] == _direct_records(small_fig1_job)
+        kinds = [event["event"] for event in transcript]
+        assert kinds[:3] == ["submitted", "started", "attempt"]
+        assert kinds[-2:] == ["artifact", "completed"]
+        assert client.status(submitted["job"])["state"] == "completed"
+
+    def test_transcript_structure_is_deterministic(
+        self, service_server, small_fig1_job
+    ):
+        """Event kinds, ordering, stage sequence and seq numbering are
+        exact — the transcript is pinnable like a golden digest."""
+        server = service_server(executor_factory=InlineShardExecutor)
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        transcript = client.events(job_id)
+        assert [event["event"] for event in transcript] == [
+            "submitted",
+            "started",
+            "attempt",
+            *(["stage"] * len(STAGE_NAMES)),
+            "artifact",
+            "completed",
+        ]
+        assert [event["seq"] for event in transcript] == list(range(len(transcript)))
+        assert all(event["job"] == job_id for event in transcript)
+        stages = [e["stage"] for e in transcript if e["event"] == "stage"]
+        assert stages == list(STAGE_NAMES)
+        for event in transcript:
+            if event["event"] == "stage":
+                assert event["computed"] == 1 and event["loaded"] == 0
+        artifact_event = transcript[-2]
+        assert artifact_event["source"] == "computed"
+        assert transcript[2] == {
+            "event": "attempt",
+            "job": job_id,
+            "seq": 2,
+            "attempt": 1,
+            "restarted": False,
+        }
+
+    def test_events_on_finished_job_replays_without_blocking(
+        self, service_server, small_fig1_job
+    ):
+        server = service_server(executor_factory=InlineShardExecutor)
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        first = client.events(job_id)
+        again = client.events(job_id)  # pure replay; returns immediately
+        assert again == first
+
+    def test_resubmission_is_served_from_the_store(
+        self, service_server, small_fig1_job, tmp_path
+    ):
+        """Same fingerprint → the artifact resolves from the job
+        namespace of the shared store: no attempt, no stages, identical
+        records, ``artifact.source == "store"``."""
+        server = service_server(
+            store_dir=tmp_path / "store", executor_factory=InlineShardExecutor
+        )
+        client = server.client()
+        first = client.submit(small_fig1_job)
+        client.events(first["job"])
+        second = client.submit(small_fig1_job)
+        assert second["job"] != first["job"]
+        assert second["fingerprint"] == first["fingerprint"]
+        transcript = client.events(second["job"])
+        assert [event["event"] for event in transcript] == [
+            "submitted",
+            "started",
+            "artifact",
+            "completed",
+        ]
+        assert transcript[-2]["source"] == "store"
+        assert client.artifact(second["job"]) == client.artifact(first["job"])
+
+    def test_without_a_store_every_submission_computes(
+        self, service_server, small_fig1_job
+    ):
+        server = service_server(executor_factory=InlineShardExecutor)
+        client = server.client()
+        first = client.submit(small_fig1_job)["job"]
+        client.events(first)
+        second = client.submit(small_fig1_job)["job"]
+        transcript = client.events(second)
+        assert transcript[-2]["source"] == "computed"
+        # Timings and cache counters differ run to run; records may not.
+        second_artifact = client.artifact(second)
+        assert second_artifact["records"] == client.artifact(first)["records"]
+
+
+class TestSubmissionValidation:
+    def test_unknown_experiment_is_rejected_at_submit(self, service_server):
+        client = service_server(executor_factory=InlineShardExecutor).client()
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            client.submit({"experiment": "fig9"})
+        assert client.jobs() == []  # nothing was created
+
+    def test_unknown_override_is_rejected_at_submit(
+        self, service_server, small_fig1_job
+    ):
+        client = service_server(executor_factory=InlineShardExecutor).client()
+        small_fig1_job["overrides"]["warp_factor"] = 9
+        with pytest.raises(ServiceError, match="warp_factor"):
+            client.submit(small_fig1_job)
+
+    def test_bad_trials_and_bad_shapes_are_rejected(self, service_server):
+        client = service_server(executor_factory=InlineShardExecutor).client()
+        with pytest.raises(ServiceError, match="trials"):
+            client.submit({"experiment": "fig1", "trials": 0})
+        with pytest.raises(ServiceError, match="must be an object"):
+            client.submit({"experiment": "fig1", "overrides": [1, 2]})
+        with pytest.raises(ServiceError, match="unknown job field"):
+            client.submit({"experiment": "fig1", "prioritty": "high"})
+
+    def test_unknown_job_queries_raise(self, service_server):
+        client = service_server(executor_factory=InlineShardExecutor).client()
+        for call in (client.status, client.artifact, client.cancel, client.events):
+            with pytest.raises(ServiceError, match="unknown job"):
+                call("j9999-deadbeef")
+
+    def test_job_listing_in_submission_order(self, service_server, small_fig1_job):
+        client = service_server(executor_factory=InlineShardExecutor).client()
+        first = client.submit(small_fig1_job)["job"]
+        second = client.submit(small_fig1_job)["job"]
+        client.events(second)
+        listed = [status["job"] for status in client.jobs()]
+        assert listed == [first, second]
+
+    def test_fingerprint_matches_library_derivation(
+        self, service_server, small_fig1_job
+    ):
+        client = service_server(executor_factory=InlineShardExecutor).client()
+        submitted = client.submit(small_fig1_job)
+        assert submitted["fingerprint"] == job_fingerprint(small_fig1_job)
+        assert submitted["job"].endswith(submitted["fingerprint"][:8])

@@ -1,30 +1,15 @@
-"""Shared fixtures of the content-store test harness.
+"""Store-directory test hygiene.
 
-Every test in this directory starts and ends with the process-wide store
-in its pristine state — memory-only, enabled, zeroed counters — so
-store-attaching tests (golden store-backed runs, corruption injection)
+Every test in this directory runs between the shared ``pristine_store``
+brackets (see ``tests/conftest.py``, which also puts ``tests/pipeline``
+on ``sys.path`` for the golden-digest imports) — store-attaching tests
 cannot leak a disk root or counter residue into each other or into the
 rest of the suite.
 """
 
-import pathlib
-import sys
-
 import pytest
-
-# The golden store-backed tests reuse the pinned digests and case
-# builders of ``tests/pipeline/test_golden.py`` (same cross-directory
-# import ``tests/pipeline/test_sharding.py`` already relies on).
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "pipeline"))
-
-from repro.store import configure_store, get_store  # noqa: E402
 
 
 @pytest.fixture(autouse=True)
-def pristine_global_store():
-    """Detach + wipe the process-wide store around every test."""
-    configure_store(root=None, enabled=True)
-    get_store().clear_memory()
+def _pristine_global_store(pristine_store):
     yield
-    configure_store(root=None, enabled=True)
-    get_store().clear_memory()

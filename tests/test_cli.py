@@ -170,6 +170,60 @@ class TestClusterCommand:
         assert resumed_out.startswith(full_out.split("stage profile:")[0])
         assert "checkpoint" in resumed_out
 
+    def test_degraded_shard_run_resumes_to_golden_labels(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Operator story for a partially-failed sharded readout: a
+        ``--shard-failure-mode degrade`` run survives a shard that dies
+        on every attempt (exit 0, degraded labels), and because degraded
+        stages are never checkpointed, the follow-up
+        ``--resume-from readout`` run recomputes the readout healthily
+        and lands on the same labels as the golden-pinned library run."""
+        from repro.pipeline import QSCPipeline, sharding
+        from test_golden import GOLDEN, build_case, result_digest
+        from test_sharding import FaultyShardExecutor, _always
+
+        graph, k, config = build_case("analytic_shots")
+        path = tmp_path / "golden.mixed"
+        graph_io.save(graph, path)
+        stages = str(tmp_path / "stages")
+        base = [
+            "cluster", "--input", str(path), "--clusters", str(k),
+            "--precision-bits", "6", "--shots", "512", "--seed", "5",
+            "--save-stages", stages,
+        ]
+
+        # The golden-pinned library result is the reference the CLI must
+        # reach after recovery.
+        reference = QSCPipeline(k, config).run(graph)
+        assert result_digest(reference) == GOLDEN["analytic_shots"]
+        golden_line = "labels: " + " ".join(
+            str(int(label)) for label in reference.labels
+        )
+
+        # Degraded run: shard 1 of 3 crashes on every attempt.
+        healthy = sharding.default_executor
+        monkeypatch.setattr(
+            sharding,
+            "default_executor",
+            lambda count: FaultyShardExecutor(_always("crash", 1)),
+        )
+        code = main(
+            base
+            + ["--readout-shards", "3", "--shard-failure-mode", "degrade"]
+        )
+        assert code == 0  # the run survived the dead shard
+        degraded_line = capsys.readouterr().out.splitlines()[0]
+        assert degraded_line.startswith("labels:")
+
+        # Recovery run: healthy executor, resume at the readout stage.
+        monkeypatch.setattr(sharding, "default_executor", healthy)
+        code = main(base + ["--resume-from", "readout", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.splitlines()[0] == golden_line
+        assert "checkpoint" in out  # upstream stages were reused
+
     def test_resume_without_save_stages_errors(self, graph_file, capsys):
         path, _ = graph_file
         code = main(

@@ -1,0 +1,130 @@
+"""CI service smoke: boot a real ``repro serve`` subprocess, prove identity.
+
+The in-process tests (``tests/service/``) exercise the full wire path but
+share the interpreter with the server.  This script is the cold-boot
+check CI runs on every push:
+
+1. launch ``python -m repro serve --port 0 --store-dir <tmp>`` as a real
+   subprocess and parse the ephemeral port from its readiness line;
+2. submit a one-trial fig1 job over the JSON-line protocol, stream its
+   full event transcript, and fetch the finished artifact;
+3. run the same sweep through ``python -m repro experiments`` and assert
+   the served records are identical to the CLI artifact's;
+4. write the streamed transcript to ``service-transcript.jsonl`` (CI
+   uploads it as a build artifact) and shut the server down cleanly.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.experiments.runner import validate_artifact, validate_artifact_file
+from repro.service.client import ServiceClient
+
+READY_PREFIX = "repro serve: listening on "
+BOOT_TIMEOUT = 60.0
+
+SMOKE_JOB = {"experiment": "fig1", "trials": 1}
+
+
+def boot_server(store_dir: str) -> tuple[subprocess.Popen, str, int]:
+    """Start the serve subprocess; return (process, host, port)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--store-dir",
+            store_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise SystemExit(
+                f"server exited during boot (code {process.returncode})"
+            )
+        if line.startswith(READY_PREFIX):
+            host, _, port = line[len(READY_PREFIX) :].strip().rpartition(":")
+            return process, host, int(port)
+    process.kill()
+    raise SystemExit(f"server not ready within {BOOT_TIMEOUT:g}s")
+
+
+def main() -> int:
+    transcript_path = pathlib.Path("service-transcript.jsonl")
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
+        process, host, port = boot_server(f"{tmp}/store")
+        try:
+            client = ServiceClient(host, port, timeout=600.0)
+            assert client.ping(), "server did not answer ping"
+            submitted = client.submit(SMOKE_JOB)
+            print(f"submitted {submitted['job']} ({submitted['fingerprint']})")
+
+            transcript = client.events(submitted["job"])
+            transcript_path.write_text(
+                "".join(json.dumps(event) + "\n" for event in transcript),
+                encoding="utf-8",
+            )
+            kinds = [event["event"] for event in transcript]
+            print(f"transcript ({len(transcript)} events): {' '.join(kinds)}")
+            assert kinds[-1] == "completed", f"job ended {kinds[-1]!r}"
+            assert "stage" in kinds, "no stage telemetry was streamed"
+
+            served = client.artifact(submitted["job"])
+            validate_artifact(served)
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "experiments",
+                "--only",
+                "fig1",
+                "--trials",
+                "1",
+                "--jobs",
+                "1",
+                "--out",
+                f"{tmp}/artifacts",
+            ],
+            check=True,
+        )
+        direct = validate_artifact_file(f"{tmp}/artifacts/fig1.json")
+
+    assert served["records"] == direct["records"], (
+        "served fig1 records differ from the direct CLI sweep"
+    )
+    print(
+        f"service smoke OK: {len(served['records'])} records, "
+        f"bit-identical to the direct run; transcript at {transcript_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
