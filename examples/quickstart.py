@@ -1,34 +1,31 @@
 """Quickstart: cluster a mixed graph quantumly in ~20 lines.
 
 Builds a two-community mixed stochastic block model, runs the quantum
-pipeline and the exact classical comparator, and prints their agreement.
+pipeline and the exact classical comparator through the stable
+``repro.api`` facade, and prints their agreement.  ``api.cluster`` is
+the supported entry point for external code — deep imports like
+``repro.core.qpe_engine`` are internal and may move between releases.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    ClassicalSpectralClustering,
-    QSCConfig,
-    QuantumSpectralClustering,
-    adjusted_rand_index,
-    mixed_sbm,
-)
+from repro import adjusted_rand_index, api
 
 
 def main():
     # A 64-node mixed graph: dense undirected edges inside two communities,
     # sparse directed arcs (community 0 -> community 1) across.
-    graph, truth = mixed_sbm(64, num_clusters=2, p_intra=0.4, p_inter=0.06, seed=7)
+    graph, truth = api.mixed_sbm(64, num_clusters=2, p_intra=0.4, p_inter=0.06, seed=7)
     print(f"graph: {graph}  (directed fraction {graph.directed_fraction:.2f})")
 
-    config = QSCConfig(
+    config = api.QSCConfig(
         precision_bits=7,   # QPE ancilla bits
         shots=1024,         # tomography budget per node
         qmeans_delta=0.05,  # q-means noise bound
         seed=42,
     )
-    quantum = QuantumSpectralClustering(2, config).fit(graph)
-    classical = ClassicalSpectralClustering(2, seed=42).fit(graph)
+    quantum = api.cluster(graph, 2, config=config)
+    classical = api.cluster(graph, 2, method="classical", seed=42)
 
     print(f"quantum  ARI vs truth: {adjusted_rand_index(truth, quantum.labels):.3f}")
     print(f"classical ARI vs truth: {adjusted_rand_index(truth, classical.labels):.3f}")

@@ -2,13 +2,22 @@
 
 Public API
 ----------
-The most common entry points are re-exported at package level:
+``repro.api`` is the stable facade external code should target —
+``cluster()``, ``run_experiment()`` and ``connect()`` cover the common
+workflows and track the versioned service surface:
+
+>>> from repro import api  # doctest: +SKIP
+>>> result = api.cluster(graph, 3)  # doctest: +SKIP
+
+The most common building blocks are also re-exported at package level
+(deep imports below these are internal and may move between releases):
 
 >>> from repro import MixedGraph, QuantumSpectralClustering, QSCConfig
 >>> from repro import ClassicalSpectralClustering, mixed_sbm
 
 Subpackages
 -----------
+``repro.api``         stable facade: cluster / run_experiment / connect
 ``repro.quantum``     from-scratch quantum simulator substrate
 ``repro.graphs``      mixed graphs, Hermitian Laplacians, generators, netlists
 ``repro.linalg``      pluggable dense/sparse linear-algebra backends
@@ -18,6 +27,8 @@ Subpackages
 ``repro.baselines``   symmetrized / random-walk / DiSim / naive baselines
 ``repro.metrics``     ARI, NMI, accuracy, cut imbalance, flow ratio
 ``repro.experiments`` one module per paper table/figure
+``repro.store``       shared content-addressed compute store
+``repro.service``     the versioned clustering-as-a-service job server
 """
 
 from repro.core import (

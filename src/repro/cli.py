@@ -418,6 +418,40 @@ def _build_parser() -> argparse.ArgumentParser:
             "the job fails (default: 1)"
         ),
     )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission control: reject new submissions with 429 + "
+            "Retry-After while N jobs are already queued "
+            "(default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--max-jobs-per-tenant",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission control: one tenant may have at most N jobs "
+            "queued or running; excess submissions get 429 + Retry-After "
+            "(default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--auth-token-file",
+        metavar="FILE",
+        default=None,
+        help=(
+            "require bearer-token authentication: FILE holds one "
+            "'tenant:token' pair per line ('#' comments allowed); the "
+            "tenant id is derived from the presented token and scopes "
+            "job listing, status, cancel and events "
+            "(default: open server, single 'public' tenant)"
+        ),
+    )
     return parser
 
 
@@ -667,6 +701,9 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        max_queued=args.max_queued,
+        max_jobs_per_tenant=args.max_jobs_per_tenant,
+        auth_token_file=args.auth_token_file,
     )
 
 

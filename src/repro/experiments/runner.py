@@ -474,6 +474,22 @@ def validate_artifact(artifact: dict) -> dict:
                     raise ExperimentError(
                         f"profile stage {stage!r} shard counter {key!r} mistyped"
                     )
+    provenance = artifact.get("provenance")
+    if provenance is not None:
+        # Additive field (schema unchanged): who/what produced this
+        # artifact — the service stamps the job fingerprint, experiment
+        # and protocol version here (never the tenant: artifacts are
+        # content-addressed and shared across tenants).  Scalar values
+        # only, so the block stays JSON-round-trippable and diffable.
+        if not isinstance(provenance, dict):
+            raise ExperimentError("artifact provenance must be an object")
+        for key, value in provenance.items():
+            if not isinstance(key, str):
+                raise ExperimentError("artifact provenance keys must be strings")
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                raise ExperimentError(
+                    f"artifact provenance field {key!r} must be a scalar or null"
+                )
     if not artifact["records"]:
         raise ExperimentError("artifact has no records")
     for position, record in enumerate(artifact["records"]):
@@ -500,6 +516,21 @@ def validate_artifact(artifact: dict) -> dict:
     if table is not None and not isinstance(table, str):
         raise ExperimentError("artifact table must be a string or null")
     return artifact
+
+
+def stamp_provenance(artifact: dict, **fields) -> dict:
+    """Merge scalar ``fields`` into the artifact's ``provenance`` block.
+
+    The block is additive (see :func:`validate_artifact`); stamping an
+    artifact never touches ``records`` or any other field, so two
+    artifacts with different provenance can still be record-identical —
+    the property the service's restart tests assert.  Returns the same
+    artifact, validated.
+    """
+    provenance = dict(artifact.get("provenance") or {})
+    provenance.update(fields)
+    artifact["provenance"] = provenance
+    return validate_artifact(artifact)
 
 
 def validate_artifact_file(path) -> dict:

@@ -11,34 +11,64 @@ The ROADMAP's service front end, built on everything PRs 5–7 laid down:
   worker thread: per-job timeout, crashed-worker restart with backoff,
   kill-based cancellation;
 * the **content store** makes jobs restartable and repeatable — shard
-  and stage checkpoints land in the shared store as they complete, and
+  and stage checkpoints land in the shared store as they complete,
   finished artifacts are published under the job's content fingerprint
-  so identical resubmissions are served without recomputing;
+  so identical resubmissions are served without recomputing, and the
+  durable **job table** (:mod:`repro.service.jobtable`) lets a rebooted
+  server re-queue whatever a kill left unfinished;
+* **admission control and tenancy** bound the damage of overload: queue
+  depth and per-tenant in-flight caps shed with retryable 429s
+  (:mod:`repro.service.errors`), and bearer tokens
+  (:mod:`repro.service.auth`) scope every job to the tenant its token
+  proves;
 * progress streams as **events** built from the pipeline's telemetry
   profile (per-stage seconds plus ``shards_loaded`` /
-  ``shards_computed`` counters), the observable the fault-injection
-  tests assert crash-resume behaviour on.
+  ``shards_computed`` counters), over JSON lines, ndjson or an RFC 6455
+  WebSocket upgrade (:mod:`repro.service.websocket`).
 
-Wire protocols (JSON-line + a stdlib HTTP subset) live in
-:mod:`repro.service.protocol`; ``repro serve`` is the CLI entry point.
+Wire protocols live in :mod:`repro.service.protocol`; the versioned
+route/op tables (and the generated ``docs/api.md``) in
+:mod:`repro.service.routes`; ``repro serve`` is the CLI entry point.
 """
 
+from repro.service.auth import DEFAULT_TENANT, TokenAuthenticator
 from repro.service.client import ServiceClient
+from repro.service.errors import (
+    ArtifactNotReadyError,
+    AuthError,
+    InvalidJobError,
+    ProtocolError,
+    RejectedError,
+    UnknownJobError,
+)
 from repro.service.events import EVENT_TYPES, TERMINAL_STATES, build_event
 from repro.service.executor import execute_job, job_store_key
 from repro.service.harness import ServerThread
+from repro.service.jobtable import JobTable
 from repro.service.manager import JOB_STATES, JobManager, JobRecord
+from repro.service.routes import API_VERSION, PROTOCOL_VERSION
 from repro.service.server import JobServer, serve
 
 __all__ = [
+    "API_VERSION",
+    "ArtifactNotReadyError",
+    "AuthError",
+    "DEFAULT_TENANT",
     "EVENT_TYPES",
+    "InvalidJobError",
     "JOB_STATES",
     "JobManager",
     "JobRecord",
     "JobServer",
+    "JobTable",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RejectedError",
     "ServerThread",
     "ServiceClient",
     "TERMINAL_STATES",
+    "TokenAuthenticator",
+    "UnknownJobError",
     "build_event",
     "execute_job",
     "job_store_key",

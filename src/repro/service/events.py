@@ -17,6 +17,12 @@ shard counters included when the stage ran sharded) → ``artifact``
 submissions resolved from the content store, which skip the ``attempt``
 and ``stage`` events entirely) → ``completed``.  Failed jobs end with
 ``failed`` (carrying ``error``), cancelled jobs with ``cancelled``.
+
+One extra kind sits outside the healthy ordering: ``recovered``, emitted
+when a rebooted server re-queues a non-terminal job from the durable
+job table (:mod:`repro.service.jobtable`) — it appears in the transcript
+between the original events and the fresh ``started``, carrying the
+state the job was found in.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.pipeline.telemetry import profile_stage_rows
 #: Every event kind the service emits.
 EVENT_TYPES = (
     "submitted",
+    "recovered",
     "started",
     "attempt",
     "stage",

@@ -22,9 +22,12 @@ from __future__ import annotations
 from repro.experiments.runner import (
     ARTIFACT_SCHEMA,
     SweepRunner,
+    job_fingerprint,
     spec_from_job,
+    stamp_provenance,
     validate_artifact,
 )
+from repro.service.routes import PROTOCOL_VERSION
 from repro.store import (
     JOB_NAMESPACE,
     ContentStore,
@@ -52,7 +55,16 @@ def execute_job(payload: dict) -> dict:
     # Parallelism comes from readout shards and from concurrent jobs —
     # never from a nested process pool inside the worker.
     result = SweepRunner(spec, jobs=1).run()
-    return result.to_artifact()
+    # Provenance is additive and scalar-only; deliberately no tenant —
+    # artifacts are content-addressed and shared across tenants, so a
+    # store-served resubmission must not leak who computed it first.
+    return stamp_provenance(
+        result.to_artifact(),
+        fingerprint=job_fingerprint(job),
+        experiment=job["experiment"],
+        protocol_version=PROTOCOL_VERSION,
+        served=True,
+    )
 
 
 def job_store_key(fingerprint: str) -> str:

@@ -26,7 +26,8 @@ class ServerThread:
     """Run a job server on an ephemeral port in a background thread.
 
     Keyword arguments are forwarded to :class:`JobServer` (``store_dir``,
-    ``workers``, ``job_timeout``, ``job_retries``, ``executor_factory``);
+    ``workers``, ``job_timeout``, ``job_retries``, ``executor_factory``,
+    ``max_queued``, ``max_jobs_per_tenant``, ``auth_token_file``);
     the port always starts ephemeral unless explicitly pinned.  Use as a
     context manager, or call :meth:`start` / :meth:`stop` directly.
     """
@@ -71,11 +72,13 @@ class ServerThread:
         await self._shutdown.wait()
         await self.server.stop()
 
-    def client(self, timeout: float = 120.0) -> ServiceClient:
+    def client(
+        self, timeout: float = 120.0, token: str | None = None
+    ) -> ServiceClient:
         """A fresh blocking client pointed at this server."""
         if self.port is None:
             raise ServiceError("server is not running")
-        return ServiceClient(self.host, self.port, timeout=timeout)
+        return ServiceClient(self.host, self.port, timeout=timeout, token=token)
 
     def stop(self, timeout: float = 30.0) -> None:
         """Shut the server down and join its thread (idempotent)."""

@@ -1,0 +1,110 @@
+"""Durable job table: the service's restart contract, on the store.
+
+Every submitted job writes one JSON row into the ``jobtable`` namespace
+of the shared content store, re-written on every state transition, plus
+a single ``index`` entry recording submission order and the next job
+number.  Rows ride the store's PR 7 crash contract — atomic temp-file
+replace, checksummed payloads, corrupt entries evicted on read — so a
+``kill -9`` at any instant leaves every row either fully old or fully
+new, never torn.
+
+Rows hold job *state* (spec, tenant, lifecycle, transcript); finished
+artifacts are not duplicated here — they already live under the ``job``
+namespace keyed by fingerprint, where :meth:`JobTable.load` leaves them
+for the manager to re-resolve lazily after a restart.
+
+A server started without ``--store-dir`` has no table and no durability,
+exactly the PR 8 in-memory behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.store import (
+    JOBTABLE_NAMESPACE,
+    ContentStore,
+    decode_json_payload,
+    encode_json_payload,
+)
+
+#: Fields persisted per job (the artifact lives in the ``job`` namespace).
+ROW_FIELDS = (
+    "id",
+    "tenant",
+    "spec",
+    "fingerprint",
+    "state",
+    "attempts",
+    "error",
+    "events",
+)
+
+_INDEX_KEY = "index"
+
+
+def _row_key(job_id: str) -> str:
+    return f"row:{job_id}"
+
+
+class JobTable:
+    """Checkpoint and recover the manager's job rows (see module doc)."""
+
+    def __init__(self, store: ContentStore):
+        self._store = store
+
+    # -- writes (called from the manager on every transition) --------------
+
+    def save_row(self, row: dict) -> None:
+        """Atomically persist one job's current row."""
+        missing = [field for field in ROW_FIELDS if field not in row]
+        if missing:
+            raise ValueError(f"job row is missing fields: {missing}")
+        payload = {field: row[field] for field in ROW_FIELDS}
+        self._store.put(
+            JOBTABLE_NAMESPACE, _row_key(row["id"]), encode_json_payload(payload)
+        )
+
+    def save_index(self, ids: list[str], next_id: int) -> None:
+        """Persist submission order and the next job counter value."""
+        self._store.put(
+            JOBTABLE_NAMESPACE,
+            _INDEX_KEY,
+            encode_json_payload({"ids": list(ids), "next": int(next_id)}),
+        )
+
+    # -- reads (called once, at server boot) --------------------------------
+
+    def load_row(self, job_id: str) -> dict | None:
+        """One persisted row, or ``None`` if missing or unreadable."""
+        payload = self._store.get(JOBTABLE_NAMESPACE, _row_key(job_id))
+        if payload is None:
+            return None
+        try:
+            row = decode_json_payload(payload)
+        except Exception:  # noqa: BLE001 — damaged row → skip, never crash boot
+            return None
+        if not isinstance(row, dict) or any(f not in row for f in ROW_FIELDS):
+            return None
+        return row
+
+    def load(self) -> tuple[list[dict], int]:
+        """Every recoverable row in submission order, plus the next id.
+
+        Rows the index names but the store cannot produce (lost or
+        corrupt — the store already evicted them) are silently skipped;
+        recovery is best-effort by design.
+        """
+        payload = self._store.get(JOBTABLE_NAMESPACE, _INDEX_KEY)
+        if payload is None:
+            return [], 1
+        try:
+            index = decode_json_payload(payload)
+        except Exception:  # noqa: BLE001 — corrupt index → empty table
+            return [], 1
+        ids = index.get("ids") or []
+        next_id = max(int(index.get("next") or 1), 1)
+        rows = []
+        for job_id in ids:
+            row = self.load_row(str(job_id))
+            if row is not None:
+                rows.append(row)
+        return rows, next_id

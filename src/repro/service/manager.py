@@ -15,6 +15,23 @@ timeout, crashed-child restart with capped backoff, and kill-based
 cancellation through the supervisor's ``cancel`` event.  Job concurrency
 is bounded by a semaphore (the ``--workers`` CLI flag).
 
+Three service-hardening layers sit on top of that core:
+
+* **Durability** — with a store attached, every state transition
+  re-writes the job's row in the durable job table
+  (:mod:`repro.service.jobtable`); :meth:`JobManager.recover` replays
+  the table at boot, re-fingerprints non-terminal jobs and re-queues
+  them, so a killed server's restart finishes its in-flight work from
+  the shard checkpoints already in the store.
+* **Admission control** — ``max_queued`` bounds total queue depth and
+  ``max_jobs_per_tenant`` bounds one tenant's in-flight jobs; both shed
+  with a retryable :class:`~repro.service.errors.RejectedError` (HTTP
+  429 + ``Retry-After``) and count into :attr:`JobManager.counters`.
+* **Tenancy** — every record carries the tenant that submitted it, and
+  every lookup is tenant-scoped when the caller passes one: a foreign
+  job id answers :class:`~repro.service.errors.UnknownJobError` (404),
+  indistinguishable from a job that never existed.
+
 Completed artifacts are published to the shared content store under the
 job's content fingerprint; a resubmission of the same job resolves from
 the store without running anything (its transcript shows
@@ -24,11 +41,10 @@ the store without running anything (its transcript shows
 from __future__ import annotations
 
 import asyncio
-import itertools
 import threading
 from dataclasses import dataclass, field
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ReproError, ServiceError
 from repro.experiments.runner import job_fingerprint, normalize_job
 from repro.pipeline.supervisor import (
     ProcessShardExecutor,
@@ -37,7 +53,15 @@ from repro.pipeline.supervisor import (
     SupervisorCancelled,
 )
 from repro.service import executor as job_executor
+from repro.service.auth import DEFAULT_TENANT
+from repro.service.errors import (
+    ArtifactNotReadyError,
+    RejectedError,
+    UnknownJobError,
+    as_service_error,
+)
 from repro.service.events import build_event, stage_event_rows
+from repro.service.jobtable import JobTable
 from repro.store import ContentStore
 
 #: Job lifecycle states.
@@ -45,6 +69,14 @@ JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
 
 #: States from which a job never moves again.
 TERMINAL_JOB_STATES = ("completed", "failed", "cancelled")
+
+#: Load-shed / recovery counters the stats surface reports.
+SHED_COUNTER_KEYS = (
+    "rejected_queue_full",
+    "rejected_tenant_quota",
+    "unauthorized",
+    "recovered",
+)
 
 
 @dataclass
@@ -54,6 +86,7 @@ class JobRecord:
     id: str
     spec: dict
     fingerprint: str
+    tenant: str = DEFAULT_TENANT
     state: str = "queued"
     attempts: int = 0
     error: str | None = None
@@ -65,12 +98,27 @@ class JobRecord:
         return {
             "job": self.id,
             "experiment": self.spec["experiment"],
+            "tenant": self.tenant,
             "state": self.state,
             "fingerprint": self.fingerprint,
             "attempts": self.attempts,
             "events": len(self.events),
             "error": self.error,
-            "artifact_ready": self.artifact is not None,
+            "artifact_ready": self.artifact is not None
+            or self.state == "completed",
+        }
+
+    def row(self) -> dict:
+        """The durable form of this record (artifact stored separately)."""
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "spec": self.spec,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "attempts": self.attempts,
+            "error": self.error,
+            "events": self.events,
         }
 
 
@@ -85,12 +133,22 @@ class JobManager:
         job_timeout: float | None = None,
         job_retries: int = 1,
         executor_factory=None,
+        max_queued: int | None = None,
+        max_jobs_per_tenant: int | None = None,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_queued is not None and max_queued < 1:
+            raise ServiceError(f"max_queued must be >= 1, got {max_queued}")
+        if max_jobs_per_tenant is not None and max_jobs_per_tenant < 1:
+            raise ServiceError(
+                f"max_jobs_per_tenant must be >= 1, got {max_jobs_per_tenant}"
+            )
         self.store_dir = None if store_dir is None else str(store_dir)
         self.job_timeout = job_timeout
         self.job_retries = job_retries
+        self.max_queued = max_queued
+        self.max_jobs_per_tenant = max_jobs_per_tenant
         # Non-daemonic workers by default: a job running a sharded sweep
         # must be able to fork shard worker processes of its own.
         self._executor_factory = executor_factory or (
@@ -102,89 +160,147 @@ class JobManager:
         self._store = (
             None if self.store_dir is None else ContentStore(root=self.store_dir)
         )
+        self._table = None if self._store is None else JobTable(self._store)
         self._jobs: dict[str, JobRecord] = {}
         self._order: list[str] = []
         self._cancels: dict[str, threading.Event] = {}
         self._subscribers: dict[str, list[asyncio.Queue]] = {}
         self._tasks: set[asyncio.Task] = set()
         self._semaphore = asyncio.Semaphore(workers)
-        self._ids = itertools.count(1)
+        self._next_id = 1
+        self.counters = {key: 0 for key in SHED_COUNTER_KEYS}
 
     # -- client-facing operations (called from connection handlers) -------
 
-    def submit(self, job: dict) -> JobRecord:
-        """Validate and enqueue one job; returns its (queued) record.
+    def submit(self, job: dict, tenant: str = DEFAULT_TENANT) -> JobRecord:
+        """Validate, admit and enqueue one job; returns its (queued) record.
 
-        Raises :class:`~repro.exceptions.ExperimentError` on malformed
-        jobs — nothing is created in that case.
+        Raises :class:`~repro.service.errors.InvalidJobError` on
+        malformed jobs and :class:`~repro.service.errors.RejectedError`
+        when admission control sheds the submission — nothing is created
+        in either case.
         """
-        spec = normalize_job(job)
+        try:
+            spec = normalize_job(job)
+        except ReproError as error:
+            raise as_service_error(error) from error
+        self._admit(tenant)
         fingerprint = job_fingerprint(spec)
         record = JobRecord(
-            id=f"j{next(self._ids):04d}-{fingerprint[:8]}",
+            id=f"j{self._next_id:04d}-{fingerprint[:8]}",
             spec=spec,
             fingerprint=fingerprint,
+            tenant=tenant,
         )
-        self._jobs[record.id] = record
-        self._order.append(record.id)
-        self._cancels[record.id] = threading.Event()
-        self._subscribers[record.id] = []
+        self._next_id += 1
+        self._register(record)
         self._emit(
             record,
             "submitted",
             experiment=spec["experiment"],
             trials=spec["trials"],
             fingerprint=fingerprint,
+            tenant=tenant,
         )
-        task = asyncio.get_running_loop().create_task(self._run_job(record))
-        self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+        self._persist_index()
+        self._spawn(record)
         return record
 
-    def get(self, job_id: str) -> JobRecord:
-        """The record of ``job_id``; raises :class:`ServiceError` if unknown."""
+    def _admit(self, tenant: str) -> None:
+        """Shed the submission if a queue or tenant bound is at capacity."""
+        if self.max_queued is not None:
+            queued = sum(
+                1 for record in self._jobs.values() if record.state == "queued"
+            )
+            if queued >= self.max_queued:
+                self.counters["rejected_queue_full"] += 1
+                raise RejectedError(
+                    f"job queue is full ({queued} queued, max {self.max_queued})"
+                )
+        if self.max_jobs_per_tenant is not None:
+            active = sum(
+                1
+                for record in self._jobs.values()
+                if record.tenant == tenant
+                and record.state in ("queued", "running")
+            )
+            if active >= self.max_jobs_per_tenant:
+                self.counters["rejected_tenant_quota"] += 1
+                raise RejectedError(
+                    f"tenant {tenant!r} already has {active} jobs in flight "
+                    f"(max {self.max_jobs_per_tenant})"
+                )
+
+    def get(self, job_id: str, tenant: str | None = None) -> JobRecord:
+        """The record of ``job_id``, scoped to ``tenant`` when given.
+
+        A job owned by another tenant raises the same
+        :class:`~repro.service.errors.UnknownJobError` as a job that
+        never existed — ids are not enumerable across tenants.
+        """
         record = self._jobs.get(job_id)
-        if record is None:
-            raise ServiceError(f"unknown job {job_id!r}")
+        if record is None or (tenant is not None and record.tenant != tenant):
+            raise UnknownJobError(f"unknown job {job_id!r}")
         return record
 
-    def jobs(self) -> list[JobRecord]:
-        """All records in submission order."""
-        return [self._jobs[job_id] for job_id in self._order]
+    def jobs(self, tenant: str | None = None) -> list[JobRecord]:
+        """Records in submission order, scoped to ``tenant`` when given."""
+        records = [self._jobs[job_id] for job_id in self._order]
+        if tenant is None:
+            return records
+        return [record for record in records if record.tenant == tenant]
 
-    def artifact(self, job_id: str) -> dict:
-        """A completed job's artifact; raises if the job is not done."""
-        record = self.get(job_id)
+    def artifact(self, job_id: str, tenant: str | None = None) -> dict:
+        """A completed job's artifact; raises if the job is not done.
+
+        A completed job recovered from the durable table holds no
+        artifact in memory — it is re-resolved (and cached back) from
+        the store's ``job`` namespace on first request.
+        """
+        record = self.get(job_id, tenant)
+        if (
+            record.artifact is None
+            and record.state == "completed"
+            and self._store is not None
+        ):
+            record.artifact = job_executor.load_artifact(
+                self._store, record.fingerprint
+            )
         if record.artifact is None:
-            raise ServiceError(
+            raise ArtifactNotReadyError(
                 f"job {job_id} has no artifact (state: {record.state})"
             )
         return record.artifact
 
-    def cancel(self, job_id: str) -> JobRecord:
-        """Request cancellation; terminal jobs are returned unchanged.
+    def cancel(
+        self, job_id: str, tenant: str | None = None
+    ) -> tuple[JobRecord, bool]:
+        """Request cancellation; returns ``(record, changed)``.
 
-        A queued job cancels immediately.  A running job's supervisor
-        observes the cancel event between sweeps, kills the in-flight
-        worker and raises — best-effort, so a job whose worker finishes
-        first still completes.
+        Idempotent: cancelling a terminal job (including an already
+        cancelled one) changes nothing and reports ``changed=False`` —
+        both wire surfaces answer 200 either way.  A queued job cancels
+        immediately.  A running job's supervisor observes the cancel
+        event between sweeps, kills the in-flight worker and raises —
+        best-effort, so a job whose worker finishes first still
+        completes.
         """
-        record = self.get(job_id)
+        record = self.get(job_id, tenant)
         if record.state in TERMINAL_JOB_STATES:
-            return record
+            return record, False
         self._cancels[job_id].set()
         if record.state == "queued":
             self._settle(record, "cancelled")
-        return record
+        return record, True
 
-    def subscribe(self, job_id: str):
+    def subscribe(self, job_id: str, tenant: str | None = None):
         """Transcript so far, plus a live queue (``None`` if terminal).
 
         The queue yields event dicts and then a ``None`` sentinel once
         the job reaches a terminal state.  Replay and registration happen
         atomically on the loop, so no event is ever missed or duplicated.
         """
-        record = self.get(job_id)
+        record = self.get(job_id, tenant)
         replay = list(record.events)
         if record.state in TERMINAL_JOB_STATES:
             return replay, None
@@ -198,6 +314,17 @@ class JobManager:
         if listeners is not None and queue in listeners:
             listeners.remove(queue)
 
+    def stats(self) -> dict:
+        """Job-state counts plus the load-shed/recovery counters."""
+        states = {state: 0 for state in JOB_STATES}
+        for record in self._jobs.values():
+            states[record.state] += 1
+        return {
+            "jobs": states,
+            "load_shed": dict(self.counters),
+            "durable": self._table is not None,
+        }
+
     async def close(self) -> None:
         """Cancel every live job and wait for their actors to finish."""
         for job_id, record in self._jobs.items():
@@ -205,6 +332,84 @@ class JobManager:
                 self.cancel(job_id)
         if self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # -- durable recovery (called once, at server boot) ---------------------
+
+    def recover(self) -> int:
+        """Re-queue every non-terminal job the durable table holds.
+
+        Terminal rows come back as-is (artifacts re-resolve lazily from
+        the store).  Non-terminal rows are re-validated and
+        re-fingerprinted — a row whose spec no longer reproduces its
+        recorded fingerprint settles as ``failed`` instead of silently
+        computing something else — then re-queued with a ``recovered``
+        event and a fresh run task, which resumes from whatever stage
+        and shard checkpoints the previous life already published.
+        Returns the number of jobs re-queued.
+        """
+        if self._table is None:
+            return 0
+        rows, next_id = self._table.load()
+        self._next_id = max(self._next_id, next_id)
+        resumed = 0
+        for row in rows:
+            if row["id"] in self._jobs:
+                continue
+            record = JobRecord(
+                id=str(row["id"]),
+                spec=row["spec"],
+                fingerprint=str(row["fingerprint"]),
+                tenant=str(row["tenant"]),
+                state=str(row["state"]),
+                attempts=int(row["attempts"]),
+                error=row["error"],
+                events=list(row["events"]),
+            )
+            self._register(record)
+            if record.state in TERMINAL_JOB_STATES:
+                continue
+            previous_state = record.state
+            try:
+                spec = normalize_job(record.spec)
+                fingerprint = job_fingerprint(spec)
+            except ReproError as error:
+                record.error = f"unrecoverable job: {error}"
+                self._settle(record, "failed", error=record.error)
+                continue
+            if fingerprint != record.fingerprint:
+                record.error = (
+                    "unrecoverable job: fingerprint drifted across restart"
+                )
+                self._settle(record, "failed", error=record.error)
+                continue
+            record.spec = spec
+            record.state = "queued"
+            self.counters["recovered"] += 1
+            resumed += 1
+            self._emit(record, "recovered", previous_state=previous_state)
+            self._spawn(record)
+        self._persist_index()
+        return resumed
+
+    def _register(self, record: JobRecord) -> None:
+        self._jobs[record.id] = record
+        self._order.append(record.id)
+        self._cancels[record.id] = threading.Event()
+        self._subscribers[record.id] = []
+
+    def _spawn(self, record: JobRecord) -> None:
+        task = asyncio.get_running_loop().create_task(self._run_job(record))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _persist(self, record: JobRecord) -> None:
+        """Re-write one job's durable row (no-op without a store)."""
+        if self._table is not None:
+            self._table.save_row(record.row())
+
+    def _persist_index(self) -> None:
+        if self._table is not None:
+            self._table.save_index(self._order, self._next_id)
 
     # -- the per-job actor -------------------------------------------------
 
@@ -301,6 +506,7 @@ class JobManager:
     def _emit(self, record: JobRecord, kind: str, **payload) -> None:
         event = build_event(kind, record.id, len(record.events), **payload)
         record.events.append(event)
+        self._persist(record)
         for queue in self._subscribers.get(record.id, ()):
             queue.put_nowait(event)
 

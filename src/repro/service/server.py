@@ -7,18 +7,17 @@ session, anything else is parsed as an HTTP request (see
 the one event loop; only job execution leaves it, into per-job
 supervisor threads managed by :class:`~repro.service.manager.JobManager`.
 
-REST surface (the JSON-line ops mirror it one to one):
+The REST surface is versioned under ``/v1`` (legacy unversioned paths
+answer 301 with the new location); the JSON-line ops mirror it one to
+one.  The authoritative route/op tables live in
+:mod:`repro.service.routes` — ``docs/api.md`` is generated from them —
+and every failure is one of the typed errors in
+:mod:`repro.service.errors`, serialized with its ``code`` on both wire
+surfaces.
 
-========  =========================  ======================================
-method    path                       meaning
-========  =========================  ======================================
-POST      ``/jobs``                  submit a job object → 202 + status
-GET       ``/jobs``                  list job statuses
-GET       ``/jobs/<id>``             one job's status
-GET       ``/jobs/<id>/artifact``    the finished artifact (409 if not done)
-GET       ``/jobs/<id>/events``      replay + live event stream (ndjson)
-DELETE    ``/jobs/<id>``             request cancellation
-========  =========================  ======================================
+On boot (before accepting connections) the server replays the durable
+job table from the store, re-queueing every job a previous life left
+unfinished — see :meth:`~repro.service.manager.JobManager.recover`.
 """
 
 from __future__ import annotations
@@ -26,7 +25,15 @@ from __future__ import annotations
 import asyncio
 import json
 
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import ReproError
+from repro.service import websocket
+from repro.service.auth import TokenAuthenticator
+from repro.service.errors import (
+    AuthError,
+    ProtocolError,
+    as_service_error,
+    error_payload,
+)
 from repro.service.manager import JobManager
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -35,6 +42,7 @@ from repro.service.protocol import (
     http_response,
     http_stream_head,
 )
+from repro.service.routes import API_VERSION, LEGACY_ROOTS, PROTOCOL_VERSION
 
 
 class JobServer:
@@ -50,6 +58,9 @@ class JobServer:
         job_timeout: float | None = None,
         job_retries: int = 1,
         executor_factory=None,
+        max_queued: int | None = None,
+        max_jobs_per_tenant: int | None = None,
+        auth_token_file=None,
     ):
         self.manager = JobManager(
             store_dir=store_dir,
@@ -57,14 +68,24 @@ class JobServer:
             job_timeout=job_timeout,
             job_retries=job_retries,
             executor_factory=executor_factory,
+            max_queued=max_queued,
+            max_jobs_per_tenant=max_jobs_per_tenant,
+        )
+        self.auth = (
+            TokenAuthenticator.from_file(auth_token_file)
+            if auth_token_file is not None
+            else TokenAuthenticator()
         )
         self._requested = (host, port)
         self._server: asyncio.AbstractServer | None = None
         self.host: str | None = None
         self.port: int | None = None
+        #: Jobs re-queued from the durable table by the last start().
+        self.recovered = 0
 
     async def start(self) -> tuple[str, int]:
-        """Bind and start accepting; returns the actual (host, port)."""
+        """Recover durable jobs, then bind; returns the actual (host, port)."""
+        self.recovered = self.manager.recover()
         host, port = self._requested
         self._server = await asyncio.start_server(
             self._handle, host, port, limit=MAX_LINE_BYTES
@@ -84,6 +105,32 @@ class JobServer:
             self._server.close()
             await self._server.wait_closed()
         await self.manager.close()
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _server_info(self) -> dict:
+        """The ``hello`` / ``GET /v1/stats`` payload."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "api_version": API_VERSION,
+            "auth": self.auth.enabled,
+            **self.manager.stats(),
+        }
+
+    def _authenticate(self, token: str | None) -> str:
+        """Token → tenant; counts and re-raises authentication failures."""
+        try:
+            return self.auth.authenticate(token)
+        except AuthError:
+            self.manager.counters["unauthorized"] += 1
+            raise
+
+    @staticmethod
+    def _error_headers(error) -> dict | None:
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is None:
+            return None
+        return {"Retry-After": str(int(retry_after))}
 
     # -- connection handling ----------------------------------------------
 
@@ -129,47 +176,60 @@ class JobServer:
             message = decode_line(line)
             op = message.get("op")
             if op == "events":
+                tenant = self._authenticate(message.get("token"))
                 await self._stream_events(
-                    str(message.get("job")), writer, encode_line
+                    str(message.get("job")), writer, encode_line, tenant
                 )
                 return
             reply = self._dispatch(op, message)
         except ReproError as error:
-            reply = {"ok": False, "error": str(error)}
+            reply = {"ok": False, **error_payload(as_service_error(error))}
         writer.write(encode_line(reply))
         await writer.drain()
 
     def _dispatch(self, op, message: dict) -> dict:
-        """Non-streaming ops; raises ReproError for protocol errors."""
+        """Non-streaming ops; raises a typed service error on failure."""
         manager = self.manager
         if op == "ping":
-            return {"ok": True, "pong": True}
+            return {"ok": True, "pong": True, "protocol_version": PROTOCOL_VERSION}
+        if op == "hello":
+            return {"ok": True, **self._server_info()}
+        tenant = self._authenticate(message.get("token"))
         if op == "submit":
-            record = manager.submit(message.get("spec", message.get("job")))
+            record = manager.submit(
+                message.get("spec", message.get("job")), tenant
+            )
             return {"ok": True, **record.status()}
         if op == "status":
-            return {"ok": True, **manager.get(str(message.get("job"))).status()}
+            return {
+                "ok": True,
+                **manager.get(str(message.get("job")), tenant).status(),
+            }
         if op == "jobs":
             return {
                 "ok": True,
-                "jobs": [record.status() for record in manager.jobs()],
+                "jobs": [record.status() for record in manager.jobs(tenant)],
             }
         if op == "artifact":
             return {
                 "ok": True,
-                "artifact": manager.artifact(str(message.get("job"))),
+                "artifact": manager.artifact(str(message.get("job")), tenant),
             }
         if op == "cancel":
-            return {"ok": True, **manager.cancel(str(message.get("job"))).status()}
-        raise ServiceError(f"unknown op {op!r}")
+            record, changed = manager.cancel(str(message.get("job")), tenant)
+            return {"ok": True, "cancelled": changed, **record.status()}
+        raise ProtocolError(f"unknown op {op!r}")
 
-    async def _stream_events(self, job_id: str, writer, frame) -> None:
+    async def _stream_events(
+        self, job_id: str, writer, frame, tenant: str | None = None
+    ) -> None:
         """Replay a job's transcript, then stream live events to terminal.
 
         ``frame`` turns one event object into wire bytes — the same
-        streaming core serves the JSON-line op and the HTTP route.
+        streaming core serves the JSON-line op, the ndjson route and the
+        WebSocket upgrade.
         """
-        replay, queue = self.manager.subscribe(job_id)
+        replay, queue = self.manager.subscribe(job_id, tenant)
         try:
             for event in replay:
                 writer.write(frame(event))
@@ -181,7 +241,7 @@ class JobServer:
                         break
                     writer.write(frame(event))
                     await writer.drain()
-            state = self.manager.get(job_id).state
+            state = self.manager.get(job_id, tenant).state
             writer.write(frame({"ok": True, "done": True, "state": state}))
             await writer.drain()
         finally:
@@ -193,7 +253,11 @@ class JobServer:
     async def _http_session(self, first: bytes, reader, writer) -> None:
         parts = first.decode("latin-1").split()
         if len(parts) < 2:
-            writer.write(http_response(400, {"error": "malformed request line"}))
+            writer.write(
+                http_response(
+                    400, error_payload(ProtocolError("malformed request line"))
+                )
+            )
             await writer.drain()
             return
         method, target = parts[0].upper(), parts[1]
@@ -208,60 +272,133 @@ class JobServer:
         length = int(headers.get("content-length") or 0)
         if length:
             body = await reader.readexactly(length)
-        await self._route_http(method, target, body, writer)
+        await self._route_http(method, target, headers, body, writer)
 
-    async def _route_http(self, method, target, body, writer) -> None:
+    @staticmethod
+    def _bearer_token(headers: dict) -> str | None:
+        value = headers.get("authorization", "")
+        if value.lower().startswith("bearer "):
+            return value[len("bearer ") :].strip() or None
+        return None
+
+    async def _route_http(self, method, target, headers, body, writer) -> None:
         manager = self.manager
         path = target.split("?", 1)[0].rstrip("/")
         segments = [part for part in path.split("/") if part]
+        if segments and segments[0] == API_VERSION:
+            segments = segments[1:]
+        elif segments and segments[0] in LEGACY_ROOTS:
+            # One release of grace for pre-v1 clients: a permanent
+            # redirect naming the versioned location, nothing served.
+            location = f"/{API_VERSION}{path}"
+            writer.write(
+                http_response(
+                    301,
+                    {"error": "moved permanently", "location": location},
+                    headers={"Location": location},
+                )
+            )
+            await writer.drain()
+            return
         try:
-            if segments == ["jobs"]:
+            if segments == ["stats"] and method == "GET":
+                writer.write(http_response(200, self._server_info()))
+            elif segments == ["jobs"]:
+                tenant = self._authenticate(self._bearer_token(headers))
                 if method == "POST":
                     try:
                         job = json.loads(body.decode("utf-8") or "null")
                     except ValueError as error:
-                        raise ServiceError(f"request body is not JSON: {error}")
-                    record = manager.submit(job)
+                        raise ProtocolError(
+                            f"request body is not JSON: {error}"
+                        ) from error
+                    record = manager.submit(job, tenant)
                     writer.write(http_response(202, record.status()))
                 elif method == "GET":
-                    statuses = [record.status() for record in manager.jobs()]
+                    statuses = [
+                        record.status() for record in manager.jobs(tenant)
+                    ]
                     writer.write(http_response(200, {"jobs": statuses}))
                 else:
-                    writer.write(http_response(405, {"error": "use GET or POST"}))
+                    writer.write(
+                        http_response(
+                            405, error_payload(ProtocolError("use GET or POST"))
+                        )
+                    )
             elif len(segments) == 2 and segments[0] == "jobs":
+                tenant = self._authenticate(self._bearer_token(headers))
                 job_id = segments[1]
                 if method == "GET":
-                    writer.write(http_response(200, manager.get(job_id).status()))
+                    writer.write(
+                        http_response(200, manager.get(job_id, tenant).status())
+                    )
                 elif method == "DELETE":
-                    writer.write(http_response(200, manager.cancel(job_id).status()))
+                    record, changed = manager.cancel(job_id, tenant)
+                    writer.write(
+                        http_response(
+                            200, {"cancelled": changed, **record.status()}
+                        )
+                    )
                 else:
                     writer.write(
-                        http_response(405, {"error": "use GET or DELETE"})
+                        http_response(
+                            405,
+                            error_payload(ProtocolError("use GET or DELETE")),
+                        )
                     )
             elif len(segments) == 3 and segments[0] == "jobs" and method == "GET":
+                tenant = self._authenticate(self._bearer_token(headers))
                 job_id, leaf = segments[1], segments[2]
                 if leaf == "artifact":
-                    manager.get(job_id)  # 404 before 409
-                    try:
-                        artifact = manager.artifact(job_id)
-                    except ServiceError as error:
-                        writer.write(http_response(409, {"error": str(error)}))
-                    else:
-                        writer.write(http_response(200, artifact))
+                    writer.write(
+                        http_response(200, manager.artifact(job_id, tenant))
+                    )
                 elif leaf == "events":
-                    manager.get(job_id)
-                    writer.write(http_stream_head(200))
-                    await self._stream_events(job_id, writer, encode_line)
+                    manager.get(job_id, tenant)  # 404/401 before any framing
+                    if websocket.wants_upgrade(headers):
+                        writer.write(
+                            websocket.handshake_response(
+                                headers.get("sec-websocket-key", "")
+                            )
+                        )
+                        await writer.drain()
+                        await self._stream_events(
+                            job_id,
+                            writer,
+                            lambda event: websocket.encode_text_frame(
+                                encode_line(event)
+                            ),
+                            tenant,
+                        )
+                        writer.write(websocket.close_frame())
+                    else:
+                        writer.write(http_stream_head(200))
+                        await self._stream_events(
+                            job_id, writer, encode_line, tenant
+                        )
+                    await writer.drain()
                     return
                 else:
-                    writer.write(http_response(404, {"error": "unknown route"}))
+                    writer.write(
+                        http_response(
+                            404, error_payload(ProtocolError("unknown route"))
+                        )
+                    )
             else:
-                writer.write(http_response(404, {"error": "unknown route"}))
-        except ServiceError as error:
-            status = 404 if "unknown job" in str(error) else 400
-            writer.write(http_response(status, {"error": str(error)}))
+                writer.write(
+                    http_response(
+                        404, error_payload(ProtocolError("unknown route"))
+                    )
+                )
         except ReproError as error:
-            writer.write(http_response(400, {"error": str(error)}))
+            error = as_service_error(error)
+            writer.write(
+                http_response(
+                    error.http_status,
+                    error_payload(error),
+                    headers=self._error_headers(error),
+                )
+            )
         await writer.drain()
 
 
@@ -273,12 +410,17 @@ def serve(
     workers: int = 2,
     job_timeout: float | None = None,
     job_retries: int = 1,
+    max_queued: int | None = None,
+    max_jobs_per_tenant: int | None = None,
+    auth_token_file=None,
 ) -> int:
     """Run a job server until interrupted (the ``repro serve`` command).
 
     Prints one readiness line (``repro serve: listening on HOST:PORT``)
     once the socket is bound — with ``--port 0`` that line is how callers
-    learn the ephemeral port — and shuts down cleanly on Ctrl-C.
+    learn the ephemeral port — and shuts down cleanly on Ctrl-C.  The
+    durable-recovery count is reported on its own line first (0 when the
+    store held nothing, or no store is attached).
     """
 
     async def _main() -> None:
@@ -289,8 +431,12 @@ def serve(
             workers=workers,
             job_timeout=job_timeout,
             job_retries=job_retries,
+            max_queued=max_queued,
+            max_jobs_per_tenant=max_jobs_per_tenant,
+            auth_token_file=auth_token_file,
         )
         bound_host, bound_port = await server.start()
+        print(f"repro serve: recovered {server.recovered} job(s)", flush=True)
         print(f"repro serve: listening on {bound_host}:{bound_port}", flush=True)
         try:
             await server.serve_forever()

@@ -1,0 +1,188 @@
+"""Minimal RFC 6455 WebSocket support for the event stream (stdlib-only).
+
+``GET /v1/jobs/<id>/events`` with an ``Upgrade: websocket`` header gets
+the same replay+live event stream as the ndjson route, one JSON event
+per text frame, closed with a normal-closure frame after the ``done``
+marker.  This module is framing only — the opening HTTP request is
+parsed by the server's existing header loop, and job semantics stay in
+the shared streaming core.
+
+Server side: :func:`wants_upgrade`, :func:`handshake_response`,
+:func:`encode_text_frame`, :func:`close_frame` (server→client frames are
+never masked, per the RFC).  Client side (used by
+:meth:`~repro.service.client.ServiceClient.events_ws` and the tests):
+:func:`client_handshake_request`, :func:`check_handshake_response`,
+:func:`read_messages` (tolerates both masked and unmasked frames).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import struct
+
+from repro.service.errors import ProtocolError, error_from_payload
+
+#: The fixed GUID every WebSocket handshake concatenates (RFC 6455 §4.2.2).
+_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Frame opcodes this stream uses.
+OP_TEXT = 0x1
+OP_CLOSE = 0x8
+
+#: Normal-closure status code.
+CLOSE_NORMAL = 1000
+
+
+def accept_key(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value proving the handshake."""
+    digest = hashlib.sha1((key + _GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def wants_upgrade(headers: dict) -> bool:
+    """Whether parsed (lower-cased) request headers ask for WebSocket."""
+    upgrade = headers.get("upgrade", "").lower()
+    connection = headers.get("connection", "").lower()
+    return upgrade == "websocket" and "upgrade" in connection
+
+
+def handshake_response(key: str) -> bytes:
+    """The 101 Switching Protocols response completing the handshake."""
+    if not key:
+        raise ProtocolError("websocket upgrade is missing Sec-WebSocket-Key")
+    head = (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(key)}\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii")
+
+
+def _encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One finished frame; 7/16/64-bit length encoding per the RFC."""
+    head = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < (1 << 16):
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def encode_text_frame(payload: bytes | str, mask: bool = False) -> bytes:
+    """One text frame (server frames unmasked, client frames masked)."""
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    return _encode_frame(OP_TEXT, payload, mask=mask)
+
+
+def close_frame(code: int = CLOSE_NORMAL, mask: bool = False) -> bytes:
+    """A close frame carrying a status code."""
+    return _encode_frame(OP_CLOSE, struct.pack("!H", code), mask=mask)
+
+
+# -- client side (tests + ServiceClient.events_ws) --------------------------
+
+
+def client_handshake_request(
+    path: str, host: str, key: str, token: str | None = None
+) -> bytes:
+    """The opening GET request of a client-initiated upgrade."""
+    lines = [
+        f"GET {path} HTTP/1.1",
+        f"Host: {host}",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Key: {key}",
+        "Sec-WebSocket-Version: 13",
+    ]
+    if token:
+        lines.append(f"Authorization: Bearer {token}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def make_client_key() -> str:
+    """A fresh 16-byte base64 nonce for ``Sec-WebSocket-Key``."""
+    return base64.b64encode(os.urandom(16)).decode("ascii")
+
+
+def _read_headers(stream) -> dict:
+    headers = {}
+    while True:
+        line = stream.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return headers
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+
+def check_handshake_response(stream, key: str) -> None:
+    """Read and verify the server's 101 response from a binary stream.
+
+    A refusal (non-101) is re-raised as the *typed* service error its
+    JSON body carries — an unknown job surfaces as
+    :class:`~repro.service.errors.UnknownJobError`, a missing token as
+    :class:`~repro.service.errors.AuthError` — exactly like the ndjson
+    route.  Bodies that are not an error payload fall back to a
+    :class:`ProtocolError` preserving the status line.
+    """
+    status = stream.readline().decode("latin-1").strip()
+    if "101" not in status.split(" ")[1:2]:
+        _read_headers(stream)
+        try:
+            payload = json.loads(stream.read())  # Connection: close → EOF
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict) and "error" in payload:
+            raise error_from_payload(payload)
+        raise ProtocolError(f"websocket upgrade refused: {status!r}")
+    if _read_headers(stream).get("sec-websocket-accept") != accept_key(key):
+        raise ProtocolError("websocket handshake returned a wrong accept key")
+
+
+def read_frame(stream) -> tuple[int, bytes] | None:
+    """One ``(opcode, payload)`` frame off a binary stream; ``None`` at EOF."""
+    head = stream.read(2)
+    if len(head) < 2:
+        return None
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    if length == 126:
+        length = struct.unpack("!H", stream.read(2))[0]
+    elif length == 127:
+        length = struct.unpack("!Q", stream.read(8))[0]
+    key = stream.read(4) if masked else b""
+    payload = stream.read(length) if length else b""
+    if len(payload) < length:
+        return None
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+def read_messages(stream):
+    """Yield text payloads until a close frame or EOF."""
+    while True:
+        frame = read_frame(stream)
+        if frame is None:
+            return
+        opcode, payload = frame
+        if opcode == OP_CLOSE:
+            return
+        if opcode == OP_TEXT:
+            yield payload

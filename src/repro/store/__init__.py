@@ -16,6 +16,7 @@ from repro.store.content_store import (
     DEFAULT_DISK_BYTES,
     DEFAULT_MEMORY_BYTES,
     JOB_NAMESPACE,
+    JOBTABLE_NAMESPACE,
     ContentStore,
     active_store,
     configure_store,
@@ -34,6 +35,7 @@ __all__ = [
     "DEFAULT_DISK_BYTES",
     "DEFAULT_MEMORY_BYTES",
     "JOB_NAMESPACE",
+    "JOBTABLE_NAMESPACE",
     "ContentStore",
     "active_store",
     "configure_store",

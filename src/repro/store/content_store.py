@@ -88,6 +88,13 @@ COUNTER_KEYS = (
 #: same job resolve without recomputing anything.
 JOB_NAMESPACE = "job"
 
+#: Namespace of the durable service job table — one JSON row per
+#: submitted job plus one index entry (see
+#: :mod:`repro.service.jobtable`), written through the same atomic
+#: temp-file + checksum path as every other entry so a job row is either
+#: fully the old version or fully the new one after any crash.
+JOBTABLE_NAMESPACE = "jobtable"
+
 #: File suffix of on-disk entries.
 _ENTRY_SUFFIX = ".cas"
 #: Prefix of in-flight temp files (same directory as their entry).

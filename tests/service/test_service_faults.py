@@ -11,7 +11,7 @@ stage telemetry, not from timing.
 
 import pytest
 
-from repro.exceptions import ServiceError
+from repro.service.errors import ArtifactNotReadyError
 from repro.experiments.runner import SweepRunner, spec_from_job
 from repro.pipeline import sharding
 from repro.pipeline.supervisor import InlineShardExecutor, ShardHandle
@@ -75,7 +75,7 @@ class TestShardCheckpointResume:
         assert transcript[-1]["event"] == "failed"
         assert "shard 1" in transcript[-1]["error"]
         assert client.status(first)["state"] == "failed"
-        with pytest.raises(ServiceError, match="artifact"):
+        with pytest.raises(ArtifactNotReadyError):
             client.artifact(first)
 
         # Resubmission with the fault cleared: same fingerprint, fresh
@@ -134,7 +134,7 @@ class TestJobRestart:
         status = client.status(job_id)
         assert status["state"] == "failed"
         assert status["error"] == transcript[-1]["error"]
-        with pytest.raises(ServiceError):
+        with pytest.raises(ArtifactNotReadyError):
             client.artifact(job_id)
 
 
@@ -199,5 +199,7 @@ class TestCancellation:
         client = service_server(executor_factory=InlineShardExecutor).client()
         job_id = client.submit(small_fig1_job)["job"]
         client.events(job_id)
-        assert client.cancel(job_id)["state"] == "completed"
+        reply = client.cancel(job_id)
+        assert reply["state"] == "completed"
+        assert reply["cancelled"] is False
         assert client.status(job_id)["state"] == "completed"

@@ -40,25 +40,25 @@ def _stream(server, path):
 class TestRestRoutes:
     def test_submit_watch_and_fetch_lifecycle(self, service_server, small_fig1_job):
         server = service_server(executor_factory=InlineShardExecutor)
-        status, submitted = _request(server, "POST", "/jobs", small_fig1_job)
+        status, submitted = _request(server, "POST", "/v1/jobs", small_fig1_job)
         assert status == 202
         job_id = submitted["job"]
         assert submitted["state"] in ("queued", "running")
 
-        status, events = _stream(server, f"/jobs/{job_id}/events")
+        status, events = _stream(server, f"/v1/jobs/{job_id}/events")
         assert status == 200
         assert events[-1] == {"ok": True, "done": True, "state": "completed"}
         kinds = [event["event"] for event in events[:-1]]
         assert kinds[0] == "submitted" and kinds[-1] == "completed"
 
-        status, body = _request(server, "GET", f"/jobs/{job_id}")
+        status, body = _request(server, "GET", f"/v1/jobs/{job_id}")
         assert status == 200 and body["state"] == "completed"
 
-        status, listing = _request(server, "GET", "/jobs")
+        status, listing = _request(server, "GET", "/v1/jobs")
         assert status == 200
         assert [entry["job"] for entry in listing["jobs"]] == [job_id]
 
-        status, artifact = _request(server, "GET", f"/jobs/{job_id}/artifact")
+        status, artifact = _request(server, "GET", f"/v1/jobs/{job_id}/artifact")
         assert status == 200
         assert artifact["schema"] == "repro.sweep/1"
         assert len(artifact["records"]) > 0
@@ -67,34 +67,38 @@ class TestRestRoutes:
         self, service_server, small_fig1_job, wait_until
     ):
         server = service_server(executor_factory=_HangingJobExecutor)
-        _, submitted = _request(server, "POST", "/jobs", small_fig1_job)
+        _, submitted = _request(server, "POST", "/v1/jobs", small_fig1_job)
         job_id = submitted["job"]
-        status, body = _request(server, "GET", f"/jobs/{job_id}/artifact")
+        status, body = _request(server, "GET", f"/v1/jobs/{job_id}/artifact")
         assert status == 409
         assert "artifact" in body["error"]
-        status, body = _request(server, "DELETE", f"/jobs/{job_id}")
+        assert body["code"] == "artifact_not_ready" and body["retryable"] is True
+        status, body = _request(server, "DELETE", f"/v1/jobs/{job_id}")
         assert status == 200
+        assert body["cancelled"] is True
         wait_until(
-            lambda: _request(server, "GET", f"/jobs/{job_id}")[1]["state"]
+            lambda: _request(server, "GET", f"/v1/jobs/{job_id}")[1]["state"]
             == "cancelled",
             message="DELETE-initiated cancellation",
         )
 
     def test_error_statuses_are_distinguished(self, service_server):
         server = service_server(executor_factory=InlineShardExecutor)
-        assert _request(server, "GET", "/jobs/nope")[0] == 404
-        assert _request(server, "GET", "/jobs/nope/artifact")[0] == 404
-        assert _request(server, "GET", "/jobs/nope/events")[0] == 404
-        assert _request(server, "DELETE", "/jobs/nope")[0] == 404
+        status, body = _request(server, "GET", "/v1/jobs/nope")
+        assert status == 404 and body["code"] == "unknown_job"
+        assert _request(server, "GET", "/v1/jobs/nope/artifact")[0] == 404
+        assert _request(server, "GET", "/v1/jobs/nope/events")[0] == 404
+        assert _request(server, "DELETE", "/v1/jobs/nope")[0] == 404
         assert _request(server, "GET", "/elsewhere")[0] == 404
-        assert _request(server, "PUT", "/jobs")[0] == 405
-        status, body = _request(server, "POST", "/jobs", {"experiment": "zzz"})
+        assert _request(server, "PUT", "/v1/jobs")[0] == 405
+        status, body = _request(server, "POST", "/v1/jobs", {"experiment": "zzz"})
         assert status == 400 and "unknown experiment" in body["error"]
+        assert body["code"] == "invalid_job" and body["retryable"] is False
 
     def test_non_json_body_is_a_bad_request(self, service_server):
         server = service_server(executor_factory=InlineShardExecutor)
         connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
-        connection.request("POST", "/jobs", body=b"not json at all")
+        connection.request("POST", "/v1/jobs", body=b"not json at all")
         response = connection.getresponse()
         body = json.loads(response.read())
         connection.close()
@@ -110,7 +114,7 @@ class TestRestRoutes:
             sock.sendall(b"HELLO\r\n\r\n")
             raw = sock.makefile("rb").read()
         assert b"400" in raw.split(b"\r\n", 1)[0]
-        status, _ = _request(server, "GET", "/jobs")
+        status, _ = _request(server, "GET", "/v1/jobs")
         assert status == 200
 
 
@@ -139,7 +143,7 @@ class TestJsonLineProtocol:
                 b'{"op": "jobs"}\n',
             ],
         )
-        assert replies[0] == {"ok": True, "pong": True}
+        assert replies[0] == {"ok": True, "pong": True, "protocol_version": 1}
         assert replies[1]["ok"] and replies[1]["job"]
         assert [j["job"] for j in replies[2]["jobs"]] == [replies[1]["job"]]
 
@@ -155,9 +159,11 @@ class TestJsonLineProtocol:
             ],
         )
         assert not replies[0]["ok"] and "unknown op" in replies[0]["error"]
-        assert not replies[1]["ok"]
+        assert replies[0]["code"] == "protocol"
+        assert not replies[1]["ok"] and replies[1]["code"] == "protocol"
         assert not replies[2]["ok"] and "unknown job" in replies[2]["error"]
-        assert replies[3] == {"ok": True, "pong": True}
+        assert replies[2]["code"] == "unknown_job"
+        assert replies[3] == {"ok": True, "pong": True, "protocol_version": 1}
 
     def test_blank_lines_are_ignored(self, service_server):
         server = service_server(executor_factory=InlineShardExecutor)
@@ -167,4 +173,4 @@ class TestJsonLineProtocol:
             stream.flush()
             first = json.loads(stream.readline())
             second = json.loads(stream.readline())
-        assert first == second == {"ok": True, "pong": True}
+        assert first == second == {"ok": True, "pong": True, "protocol_version": 1}

@@ -9,7 +9,7 @@ never a semantics change.
 
 import pytest
 
-from repro.exceptions import ServiceError
+from repro.service.errors import InvalidJobError, UnknownJobError
 from repro.experiments.runner import (
     SweepRunner,
     job_fingerprint,
@@ -132,7 +132,7 @@ class TestServedExecution:
 class TestSubmissionValidation:
     def test_unknown_experiment_is_rejected_at_submit(self, service_server):
         client = service_server(executor_factory=InlineShardExecutor).client()
-        with pytest.raises(ServiceError, match="unknown experiment"):
+        with pytest.raises(InvalidJobError, match="unknown experiment"):
             client.submit({"experiment": "fig9"})
         assert client.jobs() == []  # nothing was created
 
@@ -141,22 +141,22 @@ class TestSubmissionValidation:
     ):
         client = service_server(executor_factory=InlineShardExecutor).client()
         small_fig1_job["overrides"]["warp_factor"] = 9
-        with pytest.raises(ServiceError, match="warp_factor"):
+        with pytest.raises(InvalidJobError, match="warp_factor"):
             client.submit(small_fig1_job)
 
     def test_bad_trials_and_bad_shapes_are_rejected(self, service_server):
         client = service_server(executor_factory=InlineShardExecutor).client()
-        with pytest.raises(ServiceError, match="trials"):
+        with pytest.raises(InvalidJobError, match="trials"):
             client.submit({"experiment": "fig1", "trials": 0})
-        with pytest.raises(ServiceError, match="must be an object"):
+        with pytest.raises(InvalidJobError, match="must be an object"):
             client.submit({"experiment": "fig1", "overrides": [1, 2]})
-        with pytest.raises(ServiceError, match="unknown job field"):
+        with pytest.raises(InvalidJobError, match="unknown job field"):
             client.submit({"experiment": "fig1", "prioritty": "high"})
 
     def test_unknown_job_queries_raise(self, service_server):
         client = service_server(executor_factory=InlineShardExecutor).client()
         for call in (client.status, client.artifact, client.cancel, client.events):
-            with pytest.raises(ServiceError, match="unknown job"):
+            with pytest.raises(UnknownJobError):
                 call("j9999-deadbeef")
 
     def test_job_listing_in_submission_order(self, service_server, small_fig1_job):

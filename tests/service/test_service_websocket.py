@@ -1,0 +1,219 @@
+"""The RFC 6455 event stream: codec, handshake, and the live wire.
+
+Codec tests run against :mod:`repro.service.websocket` in isolation
+(including the RFC's own handshake vector and the 16/64-bit length
+encodings).  Wire tests upgrade ``GET /v1/jobs/<id>/events`` on a real
+server and must observe exactly the transcript the ndjson route serves —
+the upgrade changes the framing, never the events.
+"""
+
+import io
+import json
+import socket
+
+import pytest
+
+from repro.pipeline.supervisor import InlineShardExecutor
+from repro.service import websocket
+from repro.service.errors import AuthError, ProtocolError, UnknownJobError
+
+
+def _roundtrip(frame_bytes):
+    return websocket.read_frame(io.BytesIO(frame_bytes))
+
+
+class TestHandshakeCodec:
+    def test_rfc_6455_accept_key_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            websocket.accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_handshake_response_carries_the_accept(self):
+        response = websocket.handshake_response("dGhlIHNhbXBsZSBub25jZQ==")
+        text = response.decode("ascii")
+        assert text.startswith("HTTP/1.1 101 Switching Protocols\r\n")
+        assert "Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n" in text
+        assert text.endswith("\r\n\r\n")
+
+    def test_missing_key_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="Sec-WebSocket-Key"):
+            websocket.handshake_response("")
+
+    def test_wants_upgrade_reads_parsed_headers(self):
+        assert websocket.wants_upgrade(
+            {"upgrade": "websocket", "connection": "keep-alive, Upgrade"}
+        )
+        assert not websocket.wants_upgrade({"connection": "upgrade"})
+        assert not websocket.wants_upgrade({"upgrade": "h2c", "connection": "Upgrade"})
+        assert not websocket.wants_upgrade({})
+
+    def test_client_handshake_request_shape(self):
+        raw = websocket.client_handshake_request(
+            "/v1/jobs/j1/events", "h:1", "KEY", token="tok"
+        ).decode("ascii")
+        assert raw.startswith("GET /v1/jobs/j1/events HTTP/1.1\r\n")
+        assert "Sec-WebSocket-Version: 13\r\n" in raw
+        assert "Authorization: Bearer tok\r\n" in raw
+        anonymous = websocket.client_handshake_request("/p", "h", "K").decode("ascii")
+        assert "Authorization" not in anonymous
+
+    def test_check_handshake_response_verifies_and_preserves_refusals(self):
+        key = "dGhlIHNhbXBsZSBub25jZQ=="
+        good = io.BytesIO(websocket.handshake_response(key))
+        websocket.check_handshake_response(good, key)  # no raise
+        wrong = io.BytesIO(websocket.handshake_response("someOtherKey0000"))
+        with pytest.raises(ProtocolError, match="wrong accept key"):
+            websocket.check_handshake_response(wrong, key)
+        # A refusal carrying an error payload surfaces as the typed error.
+        refused = io.BytesIO(
+            b"HTTP/1.1 404 Not Found\r\n\r\n"
+            b'{"error": "unknown job", "code": "unknown_job", "retryable": false}'
+        )
+        with pytest.raises(UnknownJobError, match="unknown job"):
+            websocket.check_handshake_response(refused, key)
+        # A refusal with no parseable body keeps the status line.
+        opaque = io.BytesIO(b"HTTP/1.1 502 Bad Gateway\r\n\r\nnot json")
+        with pytest.raises(ProtocolError, match="502"):
+            websocket.check_handshake_response(opaque, key)
+
+
+class TestFrameCodec:
+    def test_short_frame_roundtrip(self):
+        frame = websocket.encode_text_frame("hello")
+        assert frame[0] == 0x80 | websocket.OP_TEXT  # FIN + text
+        assert _roundtrip(frame) == (websocket.OP_TEXT, b"hello")
+
+    def test_16_bit_length_roundtrip(self):
+        payload = b"x" * 300
+        frame = websocket.encode_text_frame(payload)
+        assert frame[1] == 126
+        assert _roundtrip(frame) == (websocket.OP_TEXT, payload)
+
+    def test_64_bit_length_roundtrip(self):
+        payload = b"y" * 70_000
+        frame = websocket.encode_text_frame(payload)
+        assert frame[1] == 127
+        assert _roundtrip(frame) == (websocket.OP_TEXT, payload)
+
+    def test_masked_frame_roundtrips_and_hides_the_payload(self):
+        frame = websocket.encode_text_frame("secret events", mask=True)
+        assert frame[1] & 0x80  # mask bit set
+        assert b"secret events" not in frame  # payload XOR-ed on the wire
+        assert _roundtrip(frame) == (websocket.OP_TEXT, b"secret events")
+
+    def test_close_frame_carries_the_status_code(self):
+        opcode, payload = _roundtrip(websocket.close_frame())
+        assert opcode == websocket.OP_CLOSE
+        assert int.from_bytes(payload, "big") == websocket.CLOSE_NORMAL
+
+    def test_read_messages_stops_at_close_and_eof(self):
+        stream = io.BytesIO(
+            websocket.encode_text_frame("one")
+            + websocket.encode_text_frame("two")
+            + websocket.close_frame()
+            + websocket.encode_text_frame("after close — never seen")
+        )
+        assert list(websocket.read_messages(stream)) == [b"one", b"two"]
+        truncated = io.BytesIO(websocket.encode_text_frame("only")[:-2])
+        assert list(websocket.read_messages(truncated)) == []
+
+
+class TestLiveUpgrade:
+    def test_ws_transcript_matches_the_ndjson_route(
+        self, service_server, small_fig1_job
+    ):
+        server = service_server(executor_factory=InlineShardExecutor)
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        plain = client.events(job_id)
+        assert client.events_ws(job_id) == plain
+        assert plain[-1]["event"] == "completed"
+
+    def test_ws_streams_live_then_replays(self, service_server, small_fig1_job):
+        """Upgrade while the job is still queued: the socket must carry
+        the whole transcript live, then serve it again as pure replay."""
+        server = service_server(executor_factory=InlineShardExecutor)
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        live = client.events_ws(job_id)
+        assert [e["event"] for e in live][-1] == "completed"
+        assert client.events_ws(job_id) == live
+
+    def test_upgrade_on_unknown_job_is_refused_with_404(self, service_server):
+        server = service_server(executor_factory=InlineShardExecutor)
+        with pytest.raises(UnknownJobError):
+            server.client().events_ws("j9999-deadbeef")
+
+    def test_upgrade_without_token_is_refused_with_401(
+        self, service_server, small_fig1_job, tmp_path
+    ):
+        tokens = tmp_path / "tokens.txt"
+        tokens.write_text("alice:tok-alice\n", encoding="utf-8")
+        server = service_server(
+            executor_factory=InlineShardExecutor, auth_token_file=tokens
+        )
+        alice = server.client(token="tok-alice")
+        job_id = alice.submit(small_fig1_job)["job"]
+        alice.events(job_id)
+        with pytest.raises(AuthError):
+            server.client().events_ws(job_id)
+        assert alice.events_ws(job_id)[-1]["event"] == "completed"
+
+    def test_raw_socket_upgrade_speaks_rfc_frames(
+        self, service_server, small_fig1_job
+    ):
+        """Drive the upgrade by hand: real 101, correct accept, every
+        event one unmasked text frame, normal close at the end."""
+        server = service_server(executor_factory=InlineShardExecutor)
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        client.events(job_id)  # finish first: bounded frame count
+
+        key = websocket.make_client_key()
+        with socket.create_connection((server.host, server.port), timeout=60) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(
+                websocket.client_handshake_request(
+                    f"/v1/jobs/{job_id}/events",
+                    f"{server.host}:{server.port}",
+                    key,
+                )
+            )
+            stream.flush()
+            websocket.check_handshake_response(stream, key)
+            frames = []
+            while True:
+                frame = websocket.read_frame(stream)
+                assert frame is not None, "stream ended without a close frame"
+                opcode, payload = frame
+                if opcode == websocket.OP_CLOSE:
+                    assert (
+                        int.from_bytes(payload, "big") == websocket.CLOSE_NORMAL
+                    )
+                    break
+                assert opcode == websocket.OP_TEXT
+                frames.append(json.loads(payload))
+        assert frames[-1] == {"ok": True, "done": True, "state": "completed"}
+        assert [e["event"] for e in frames[:-1]] == [
+            e["event"] for e in client.events(job_id)
+        ]
+
+    def test_upgrade_with_missing_key_is_a_400(
+        self, service_server, small_fig1_job
+    ):
+        server = service_server(executor_factory=InlineShardExecutor)
+        client = server.client()
+        job_id = client.submit(small_fig1_job)["job"]
+        client.events(job_id)
+        request = (
+            f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+            "Host: x\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n\r\n"
+        ).encode("ascii")
+        with socket.create_connection((server.host, server.port), timeout=60) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(request)
+            stream.flush()
+            status = stream.readline()
+        assert b" 400 " in status  # a real job, but no Sec-WebSocket-Key

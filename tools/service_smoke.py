@@ -11,7 +11,14 @@ check CI runs on every push:
 3. run the same sweep through ``python -m repro experiments`` and assert
    the served records are identical to the CLI artifact's;
 4. write the streamed transcript to ``service-transcript.jsonl`` (CI
-   uploads it as a build artifact) and shut the server down cleanly.
+   uploads it as a build artifact) and shut the server down cleanly;
+5. run the **restart drill**: a second server (``--max-queued 1``) gets
+   a sharded job plus a queued one, sheds a third submission with the
+   retryable 429 (``Retry-After`` intact), is SIGKILLed the moment the
+   first readout shard checkpoint lands, and is rebooted on the same
+   store — it must report ``recovered 2 job(s)``, finish both from
+   checkpoints, and serve records identical to a direct in-process
+   :class:`~repro.experiments.runner.SweepRunner` run.
 
 Run from the repository root::
 
@@ -28,17 +35,54 @@ import sys
 import tempfile
 import time
 
-from repro.experiments.runner import validate_artifact, validate_artifact_file
+from repro.experiments.runner import (
+    SweepRunner,
+    spec_from_job,
+    validate_artifact,
+    validate_artifact_file,
+)
 from repro.service.client import ServiceClient
+from repro.service.errors import RejectedError
 
 READY_PREFIX = "repro serve: listening on "
+RECOVERED_PREFIX = "repro serve: recovered "
 BOOT_TIMEOUT = 60.0
 
 SMOKE_JOB = {"experiment": "fig1", "trials": 1}
 
+#: The restart drill's in-flight job: sharded readout, sized so the
+#: SIGKILL (triggered by the first shard checkpoint) lands mid-stage.
+DRILL_JOB = {
+    "experiment": "fig1",
+    "trials": 1,
+    "overrides": {
+        "strengths": [0.9],
+        "num_nodes": 24,
+        "num_clusters": 2,
+        "shots": 256,
+        "precision_bits": 6,
+        "readout_shards": 6,
+    },
+}
 
-def boot_server(store_dir: str) -> tuple[subprocess.Popen, str, int]:
-    """Start the serve subprocess; return (process, host, port)."""
+#: The restart drill's queued job: tiny, waits behind the drill job.
+QUEUED_JOB = {
+    "experiment": "fig1",
+    "trials": 1,
+    "overrides": {
+        "strengths": [0.9],
+        "num_nodes": 18,
+        "num_clusters": 2,
+        "shots": 64,
+        "precision_bits": 5,
+    },
+}
+
+
+def boot_server(
+    store_dir: str, *extra_flags: str
+) -> tuple[subprocess.Popen, str, int, int]:
+    """Start the serve subprocess; return (process, host, port, recovered)."""
     process = subprocess.Popen(
         [
             sys.executable,
@@ -49,11 +93,13 @@ def boot_server(store_dir: str) -> tuple[subprocess.Popen, str, int]:
             "0",
             "--store-dir",
             store_dir,
+            *extra_flags,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
     )
+    recovered = 0
     deadline = time.monotonic() + BOOT_TIMEOUT
     while time.monotonic() < deadline:
         line = process.stdout.readline()
@@ -61,17 +107,101 @@ def boot_server(store_dir: str) -> tuple[subprocess.Popen, str, int]:
             raise SystemExit(
                 f"server exited during boot (code {process.returncode})"
             )
+        if line.startswith(RECOVERED_PREFIX):
+            recovered = int(line[len(RECOVERED_PREFIX) :].split()[0])
         if line.startswith(READY_PREFIX):
             host, _, port = line[len(READY_PREFIX) :].strip().rpartition(":")
-            return process, host, int(port)
+            return process, host, int(port), recovered
     process.kill()
     raise SystemExit(f"server not ready within {BOOT_TIMEOUT:g}s")
+
+
+def wait_for(predicate, timeout: float, what: str):
+    """Poll until ``predicate()`` is truthy; SystemExit on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.02)
+    raise SystemExit(f"timed out after {timeout:g}s waiting for {what}")
+
+
+def restart_drill(tmp: str) -> None:
+    """kill -9 mid-readout, reboot, finish record-identically."""
+    store = pathlib.Path(tmp) / "drill-store"
+    shard_dir = store / "shard"
+    process, host, port, recovered = boot_server(
+        str(store), "--workers", "1", "--max-queued", "1"
+    )
+    try:
+        assert recovered == 0, f"fresh store recovered {recovered} jobs"
+        client = ServiceClient(host, port, timeout=600.0)
+        big = client.submit(DRILL_JOB)["job"]
+        wait_for(
+            lambda: client.status(big)["state"] == "running",
+            30.0,
+            "the drill job to start",
+        )
+        queued = client.submit(QUEUED_JOB)["job"]
+
+        # Backpressure: the queue is at --max-queued, so a third
+        # submission sheds with the retryable 429 — and the two
+        # accepted jobs must still finish (proven after the restart).
+        try:
+            client.submit(QUEUED_JOB)
+        except RejectedError as error:
+            assert error.retryable and error.retry_after == 5, vars(error)
+            print(f"backpressure OK: shed with retry_after={error.retry_after}")
+        else:
+            raise SystemExit("over-quota submission was not shed with 429")
+
+        wait_for(
+            lambda: shard_dir.is_dir() and any(shard_dir.rglob("*.cas")),
+            120.0,
+            "the first shard checkpoint",
+        )
+    finally:
+        process.kill()  # SIGKILL: no goodbye, no flush, no cleanup
+        process.wait(30)
+    print("killed the server mid-readout (first shard checkpoint on disk)")
+
+    process, host, port, recovered = boot_server(str(store), "--workers", "1")
+    try:
+        assert recovered == 2, f"expected 2 recovered jobs, got {recovered}"
+        client = ServiceClient(host, port, timeout=600.0)
+        for job_id in (big, queued):
+            wait_for(
+                lambda job_id=job_id: client.status(job_id)["state"]
+                == "completed",
+                300.0,
+                f"recovered job {job_id} to complete",
+            )
+        kinds = [event["event"] for event in client.events(big)]
+        assert "recovered" in kinds, f"no recovered event: {kinds}"
+        served = client.artifact(big)
+        validate_artifact(served)
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+    direct = SweepRunner(spec_from_job(DRILL_JOB), jobs=1).run()
+    assert served["records"] == direct.to_artifact()["records"], (
+        "records of the killed-and-recovered job differ from a direct run"
+    )
+    print(
+        f"restart drill OK: recovered 2 jobs, {len(served['records'])} "
+        "records bit-identical to the direct run"
+    )
 
 
 def main() -> int:
     transcript_path = pathlib.Path("service-transcript.jsonl")
     with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
-        process, host, port = boot_server(f"{tmp}/store")
+        process, host, port, _ = boot_server(f"{tmp}/store")
         try:
             client = ServiceClient(host, port, timeout=600.0)
             assert client.ping(), "server did not answer ping"
@@ -123,6 +253,9 @@ def main() -> int:
         f"service smoke OK: {len(served['records'])} records, "
         f"bit-identical to the direct run; transcript at {transcript_path}"
     )
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-drill-") as tmp:
+        restart_drill(tmp)
     return 0
 
 
