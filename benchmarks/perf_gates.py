@@ -27,6 +27,13 @@ MIN_KERNEL_SPEEDUP = 3.0
 MIN_READOUT_SHARD_SPEEDUP = 1.5
 READOUT_SHARD_COUNT = 4
 
+# Preconditioned LOBPCG vs ARPACK eigsh on the ill-conditioned midrange
+# eigenproblem (the workload the "auto" midrange band exists for).  Both
+# timings come from the same run on the same matrix, so the gate is
+# hardware-robust, but it needs a scipy build with lobpcg — hosts without
+# one record the eigsh timing as data instead (``eigensolver_gate_enforced``).
+MIN_LOBPCG_SPEEDUP = 2.0
+
 # Relative trend gate of the per-PR benchmark series
 # (``benchmarks/trajectory.py --series``): each speedup metric of the new
 # entry must reach at least this fraction of the previous PR's value.
@@ -43,6 +50,11 @@ KERNEL_PRECISION = 7
 SHARD_NODES = 512
 SHARD_SHOTS = 2048
 SHARD_SEED = 99
+EIGENSOLVER_NODES = 1024  # midrange: SPARSE_AUTO_THRESHOLD <= n < ceiling
+EIGENSOLVER_CLUSTERS = 4
+EIGENSOLVER_K = 4
+EIGENSOLVER_WEIGHT_DECADES = 6.0
+EIGENSOLVER_SEED = 7
 
 
 def usable_cores() -> int:
@@ -58,6 +70,55 @@ def usable_cores() -> int:
 def shard_gate_enforced() -> bool:
     """Whether the sharded-readout wall-clock gate applies on this host."""
     return usable_cores() >= 2
+
+
+def eigensolver_gate_enforced() -> bool:
+    """Whether the LOBPCG-vs-eigsh gate applies on this host.
+
+    The gate compares the sparse backend's two iterative routes, so it
+    needs a scipy build that ships ``lobpcg``; anything less records the
+    available timings as data.
+    """
+    from repro.linalg.backends import HAVE_LOBPCG
+
+    return HAVE_LOBPCG
+
+
+def ill_conditioned_laplacian():
+    """The gated midrange eigenproblem: a weight-skewed SBM Laplacian.
+
+    The adjacency pattern is the standard sparse mixed SBM at midrange
+    scale, but edge weights are drawn log-uniformly across
+    ``EIGENSOLVER_WEIGHT_DECADES`` orders of magnitude, so the
+    unnormalized Laplacian's degree diagonal — and with it the spectrum —
+    spans ~10^6.  ARPACK's shiftless Lanczos needs many restarts to pull
+    the smallest eigenvalues out of that spread; the degree/Jacobi
+    preconditioner hands LOBPCG the rescaling for free, which is exactly
+    the regime the "auto" midrange band routes to LOBPCG.  (A normalized
+    Laplacian would be unit-diagonal and the preconditioner inert — the
+    skewed weights are what makes this gate meaningful.)
+    """
+    import scipy.sparse as sparse
+
+    from repro.graphs import sparse_mixed_sbm
+
+    graph, _ = sparse_mixed_sbm(
+        EIGENSOLVER_NODES, EIGENSOLVER_CLUSTERS, seed=EIGENSOLVER_SEED
+    )
+    pattern = sparse.csr_matrix(graph.symmetrized_adjacency()).tocoo()
+    upper = pattern.row < pattern.col
+    rows, cols = pattern.row[upper], pattern.col[upper]
+    rng = np.random.default_rng(EIGENSOLVER_SEED)
+    weights = 10.0 ** rng.uniform(0.0, EIGENSOLVER_WEIGHT_DECADES, size=rows.size)
+    adjacency = sparse.coo_matrix(
+        (
+            np.concatenate([weights, weights]),
+            (np.concatenate([rows, cols]), np.concatenate([cols, rows])),
+        ),
+        shape=pattern.shape,
+    ).tocsr()
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    return (sparse.diags(degrees) - adjacency).astype(complex).tocsr()
 
 
 def readout_shard_case():

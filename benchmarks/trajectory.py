@@ -28,7 +28,7 @@ because its two sides come from different CI runs.
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/trajectory.py \
-        --out BENCH_pr7.json --series BENCH_trajectory.json --label pr7
+        --out BENCH_pr10.json --series BENCH_trajectory.json --label pr10
 
 Exit status is non-zero if any gate fails; the JSON (and the updated
 series) is written either way so the failing numbers are inspectable.
@@ -46,11 +46,14 @@ import sys
 
 import numpy as np
 from perf_gates import (
+    EIGENSOLVER_K,
+    EIGENSOLVER_NODES,
     GENERATOR_NODES,
     KERNEL_PHASES,
     KERNEL_PRECISION,
     MIN_GENERATOR_SPEEDUP,
     MIN_KERNEL_SPEEDUP,
+    MIN_LOBPCG_SPEEDUP,
     MIN_READOUT_SHARD_SPEEDUP,
     MIN_RELATIVE_TREND,
     READOUT_SHARD_COUNT,
@@ -58,7 +61,9 @@ from perf_gates import (
     SHARD_SHOTS,
     batch_kernel_build,
     best_seconds,
+    eigensolver_gate_enforced,
     generator_cases,
+    ill_conditioned_laplacian,
     kernel_phases,
     loop_kernel_build,
     readout_shard_case,
@@ -231,6 +236,88 @@ def measure_readout_shards() -> dict:
     }
 
 
+def measure_eigensolver() -> dict:
+    """Preconditioned LOBPCG vs ARPACK eigsh on the midrange workload.
+
+    The matrix is the weight-skewed SBM Laplacian from
+    ``perf_gates.ill_conditioned_laplacian`` — the problem class the
+    "auto" midrange band routes to LOBPCG.  Eigenvalue agreement between
+    the two routes is asserted (an ``AssertionError`` fails the whole
+    run), the LOBPCG route must actually be taken (no silent eigsh
+    fallback masquerading as a win), and the wall-clock speedup gates at
+    ``MIN_LOBPCG_SPEEDUP`` wherever scipy ships lobpcg.  Hosts without
+    lobpcg record the eigsh timing as data.
+    """
+    from repro.linalg.backends import HAVE_LOBPCG, SparseBackend
+
+    laplacian = ill_conditioned_laplacian()
+    eigsh_backend = SparseBackend(solver="eigsh")
+    eigsh_values, _ = eigsh_backend.lowest_eigenpairs(laplacian, EIGENSOLVER_K)
+    eigsh_seconds = best_seconds(
+        lambda: eigsh_backend.lowest_eigenpairs(laplacian, EIGENSOLVER_K),
+        repeats=2,
+    )
+    out = {
+        "num_nodes": EIGENSOLVER_NODES,
+        "k": EIGENSOLVER_K,
+        "eigsh_seconds": eigsh_seconds,
+        "gate_enforced": eigensolver_gate_enforced(),
+    }
+    if not HAVE_LOBPCG:
+        return out
+    lobpcg_backend = SparseBackend(solver="lobpcg")
+    lobpcg_values, _ = lobpcg_backend.lowest_eigenpairs(laplacian, EIGENSOLVER_K)
+    if lobpcg_backend.last_route != "lobpcg":
+        raise AssertionError(
+            "LOBPCG route fell back to "
+            f"{lobpcg_backend.last_route!r} on the gated workload"
+        )
+    if not np.allclose(lobpcg_values, eigsh_values, rtol=1e-4, atol=1e-8):
+        raise AssertionError("LOBPCG eigenvalues differ from eigsh")
+    lobpcg_seconds = best_seconds(
+        lambda: lobpcg_backend.lowest_eigenpairs(laplacian, EIGENSOLVER_K),
+        repeats=2,
+    )
+    out["lobpcg_seconds"] = lobpcg_seconds
+    out["speedup"] = eigsh_seconds / lobpcg_seconds
+    return out
+
+
+def measure_array_dispatch() -> dict:
+    """The array backend's dispatched QPE kernel vs the legacy numpy path.
+
+    Recorded as *data*, never gated: on the default CI leg the only
+    importable namespace is numpy, where the dispatched kernel computes
+    the same broadcast at the same speed — the measurement exists so the
+    trajectory shows the dispatch overhead is nil and lights up with real
+    numbers on hosts where torch/CuPy is installed.  Equality against the
+    legacy kernel *is* asserted (tolerance-based, as everywhere the
+    array backend is compared).
+    """
+    from repro.linalg import default_namespace_name, dispatch_scope
+
+    phases = kernel_phases()
+    legacy = batch_kernel_build(phases)
+    plain_seconds = best_seconds(lambda: batch_kernel_build(phases), repeats=3)
+
+    def dispatched_build():
+        with dispatch_scope():
+            return batch_kernel_build(phases)
+
+    dispatched = dispatched_build()
+    if not np.allclose(dispatched, legacy, atol=1e-9):
+        raise AssertionError("dispatched QPE kernel differs from the legacy build")
+    dispatched_seconds = best_seconds(dispatched_build, repeats=3)
+    return {
+        "namespace": default_namespace_name(),
+        "num_phases": KERNEL_PHASES,
+        "precision_bits": KERNEL_PRECISION,
+        "plain_seconds": plain_seconds,
+        "dispatched_seconds": dispatched_seconds,
+        "relative": plain_seconds / dispatched_seconds,
+    }
+
+
 def trend_metrics(results: dict) -> dict:
     """The speedup metrics compared across PR entries by the trend gate.
 
@@ -248,6 +335,11 @@ def trend_metrics(results: dict) -> dict:
         # Parallel speedup only trends where it is gated (multi-core
         # hosts); a single-core container's ~1x would poison the baseline.
         metrics["readout_shards"] = shards["speedup"]
+    solver = results.get("eigensolver")
+    if solver is not None and solver["gate_enforced"]:
+        # Same enforced-only policy: a lobpcg-less host has no speedup
+        # to trend and must not poison the baseline with its absence.
+        metrics["eigensolver"] = solver["speedup"]
     return metrics
 
 
@@ -362,6 +454,13 @@ def evaluate_gates(results: dict) -> dict:
             "value": shards["speedup"],
             "passed": shards["speedup"] >= MIN_READOUT_SHARD_SPEEDUP,
         }
+    solver = results["eigensolver"]
+    if solver["gate_enforced"]:
+        gates["lobpcg_speedup"] = {
+            "threshold": MIN_LOBPCG_SPEEDUP,
+            "value": solver["speedup"],
+            "passed": solver["speedup"] >= MIN_LOBPCG_SPEEDUP,
+        }
     return gates
 
 
@@ -369,9 +468,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_pr7.json",
+        default="BENCH_pr10.json",
         metavar="PATH",
-        help="where to write the JSON summary (default: ./BENCH_pr7.json)",
+        help="where to write the JSON summary (default: ./BENCH_pr10.json)",
     )
     parser.add_argument(
         "--series",
@@ -385,9 +484,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--label",
-        default="pr7",
+        default="pr10",
         metavar="NAME",
-        help="series label of this entry (default: pr7)",
+        help="series label of this entry (default: pr10)",
     )
     args = parser.parse_args(argv)
 
@@ -397,6 +496,8 @@ def main(argv=None) -> int:
         "sweep_cache": measure_sweep_cache(),
         "store": measure_store(),
         "readout_shards": measure_readout_shards(),
+        "eigensolver": measure_eigensolver(),
+        "array_dispatch": measure_array_dispatch(),
     }
     gates = evaluate_gates(results)
     summary = {

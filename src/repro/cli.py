@@ -13,12 +13,15 @@ Graphs travel in the edge-list format of ``repro.graphs.io``.  Every
 subcommand prints plain text to stdout and exits non-zero on error, so the
 tool scripts cleanly.
 
-``--backend {auto,dense,sparse}`` selects the linear-algebra
+``--backend {auto,dense,sparse,array}`` selects the linear-algebra
 representation (see ``repro.linalg``): ``auto`` keeps small graphs on the
-exact dense path and switches large ones to sparse CSR + Lanczos, which is
-what lets ``cluster --method classical`` handle 10k-node graphs.  The QPE
-statistics engine is chosen separately via ``--qpe-backend
-{analytic,circuit}``.
+exact dense path, routes the midrange through sparse CSR + LOBPCG with a
+Jacobi preconditioner, and switches large ones to sparse CSR + Lanczos,
+which is what lets ``cluster --method classical`` handle 10k-node graphs.
+``array`` holds matrices as array-API device arrays (CuPy/torch when
+importable, numpy fallback) and routes the dense QPE/tomography hot paths
+through the device.  The QPE statistics engine is chosen separately via
+``--qpe-backend {analytic,circuit}``.
 
 ``experiments`` drives the unified sweep engine
 (:mod:`repro.experiments.runner`): it reproduces the paper's figure/table
@@ -83,7 +86,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=BACKEND_NAMES,
         default="auto",
-        help="linear-algebra backend: auto (size-based), dense, or sparse",
+        help=(
+            "linear-algebra backend: auto (size-based), dense, sparse, "
+            "or array (array-API device arrays)"
+        ),
     )
     cluster.add_argument(
         "--qpe-backend",
@@ -310,6 +316,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     experiments.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "linalg backend for every selected sweep's quantum fits "
+            "(recorded in the artifacts' profile; default: each spec's "
+            "default, auto)"
+        ),
+    )
+    experiments.add_argument(
         "--store-dir",
         metavar="DIR",
         default=None,
@@ -511,10 +527,15 @@ def _cmd_cluster(args) -> int:
     if args.method == "quantum" and args.profile:
         print("stage profile:")
         for row in result.profile:
+            backend = (
+                f"  [{row['linalg_backend']}/{row['eigensolver']}]"
+                if "linalg_backend" in row
+                else ""
+            )
             print(
                 f"  {row['stage']:9s} {row['seconds']*1e3:9.2f} ms  "
                 f"{row['source']:10s} cache {row['cache_hits']}h/"
-                f"{row['cache_misses']}m"
+                f"{row['cache_misses']}m{backend}"
             )
             for shard in row.get("shards", ()):
                 print(
@@ -629,6 +650,8 @@ def _cmd_experiments(args) -> int:
             factory_kwargs["generator_version"] = args.generator_version
         if args.readout_shards is not None:
             factory_kwargs["readout_shards"] = args.readout_shards
+        if args.backend is not None:
+            factory_kwargs["linalg_backend"] = args.backend
         if args.store_dir is not None:
             factory_kwargs["store_dir"] = args.store_dir
         spec = specs[name](**factory_kwargs)

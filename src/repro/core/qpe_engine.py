@@ -37,6 +37,7 @@ import numpy as np
 from repro.exceptions import ClusteringError
 from repro.store import DEFAULT_MEMORY_BYTES, ContentStore, get_store
 from repro.linalg import is_sparse_matrix, to_dense_array
+from repro.linalg.array_backend import dispatched_matmul
 from repro.quantum.hamiltonian import (
     SpectralDecomposition,
     trotter_evolution,
@@ -305,7 +306,8 @@ class AnalyticQPEBackend:
     def __init__(self, laplacian, precision_bits: int):
         if precision_bits < 1:
             raise ClusteringError(f"precision_bits must be >= 1, got {precision_bits}")
-        laplacian = to_dense_array(laplacian, dtype=complex)
+        # read-only below (pad_laplacian copies), so skip the defensive copy
+        laplacian = to_dense_array(laplacian, dtype=complex, copy=False)
         self.num_nodes = laplacian.shape[0]
         self.precision_bits = precision_bits
         self.lambda_scale = LAMBDA_SCALE
@@ -491,7 +493,8 @@ class CircuitQPEBackend:
             raise ClusteringError(
                 f"max_batch_columns must be >= 1, got {max_batch_columns}"
             )
-        laplacian = to_dense_array(laplacian, dtype=complex)
+        # read-only below (pad_laplacian copies), so skip the defensive copy
+        laplacian = to_dense_array(laplacian, dtype=complex, copy=False)
         self.num_nodes = laplacian.shape[0]
         self.precision_bits = precision_bits
         self.lambda_scale = LAMBDA_SCALE
@@ -604,6 +607,9 @@ class CircuitQPEBackend:
             flat = self._forward_table.reshape(
                 (2**self.precision_bits) * self.dim, self.dim
             )
+            dispatched = dispatched_matmul(flat.conj().T, masked)
+            if dispatched is not None:
+                return dispatched
             return flat.conj().T @ masked
         uncomputed = self._apply_columns(self._inverse_circuit, masked)
         return uncomputed.reshape(2**self.precision_bits, self.dim, masked.shape[1])[0]

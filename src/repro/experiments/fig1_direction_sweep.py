@@ -52,6 +52,7 @@ def _trial(
     generator_version="v1",
     readout_shards=None,
     store_dir=None,
+    linalg_backend="auto",
 ) -> list[TrialRecord]:
     """One F1 trial: the full method panel on one cyclic-flow SBM."""
     strength = point["strength"]
@@ -72,6 +73,7 @@ def _trial(
         generator_version=generator_version,
         readout_shards=readout_shards,
         store_dir=store_dir,
+        linalg_backend=linalg_backend,
     )
     methods = standard_methods(num_clusters, seed, config)
     return evaluate_methods("F1", methods, graph, truth, {"strength": strength}, seed)
@@ -89,6 +91,7 @@ def spec(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
 ) -> SweepSpec:
     """The declarative F1 sweep (same knobs as :func:`run`).
 
@@ -96,7 +99,9 @@ def spec(
     recorded in the sweep's ``fixed`` parameters, so every JSON artifact
     states which contract produced its graphs.  ``readout_shards`` runs
     every quantum fit's readout stage sharded (bit-identical records; the
-    value is likewise recorded in ``fixed``).
+    value is likewise recorded in ``fixed``).  ``linalg_backend`` selects
+    the linalg backend of every quantum fit (recorded in ``fixed`` and in
+    the artifact's stage profile).
     """
     return SweepSpec(
         name="fig1",
@@ -116,6 +121,7 @@ def spec(
             "generator_version": generator_version,
             "readout_shards": readout_shards,
             "store_dir": store_dir,
+            "linalg_backend": linalg_backend,
         },
         render=series,
     )
@@ -133,6 +139,7 @@ def run(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F1 direction-strength sweep through the sweep engine."""
@@ -150,6 +157,7 @@ def run(
                 generator_version=generator_version,
                 readout_shards=readout_shards,
                 store_dir=store_dir,
+                linalg_backend=linalg_backend,
             ),
             jobs=jobs,
         )

@@ -89,6 +89,7 @@ def _trial(
     generator_version="v1",
     readout_shards=None,
     store_dir=None,
+    linalg_backend="auto",
 ) -> list[TrialRecord]:
     """One F2 trial: analytic fit + filter diagnostics (+ circuit check)."""
     precision = point["p"]
@@ -109,6 +110,7 @@ def _trial(
         generator_version=generator_version,
         readout_shards=readout_shards,
         store_dir=store_dir,
+        linalg_backend=linalg_backend,
     )
     pipeline = QSCPipeline(num_clusters, config)
     result = pipeline.run(graph)
@@ -144,6 +146,7 @@ def _trial(
             generator_version=generator_version,
             readout_shards=readout_shards,
             store_dir=store_dir,
+            linalg_backend=linalg_backend,
         )
         circuit_pipeline = QSCPipeline(num_clusters, circuit_config)
         circuit_labels = circuit_pipeline.run(small_graph).labels
@@ -172,6 +175,7 @@ def spec(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
 ) -> SweepSpec:
     """The declarative F2 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -192,6 +196,7 @@ def spec(
             "generator_version": generator_version,
             "readout_shards": readout_shards,
             "store_dir": store_dir,
+            "linalg_backend": linalg_backend,
         },
         render=series,
     )
@@ -209,6 +214,7 @@ def run(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F2 precision sweep through the sweep engine."""
@@ -226,6 +232,7 @@ def run(
                 generator_version=generator_version,
                 readout_shards=readout_shards,
                 store_dir=store_dir,
+                linalg_backend=linalg_backend,
             ),
             jobs=jobs,
         )

@@ -54,12 +54,14 @@ def _trial(
     generator_version="v1",
     readout_shards=None,
     store_dir=None,
+    linalg_backend="auto",
 ) -> list[TrialRecord]:
     """Profile one sparse mixed SBM at the point's size.
 
-    ``readout_shards`` and ``store_dir`` are accepted for CLI uniformity
-    but inert: F3 models quantum step counts instead of running the
-    staged pipeline.
+    ``readout_shards``, ``store_dir`` and ``linalg_backend`` are accepted
+    for CLI uniformity but inert: F3 models quantum step counts (and
+    profiles fixed explicit eigensolvers) instead of running the staged
+    pipeline.
     """
     num_nodes = point["n"]
     # keep the average degree constant so edges grow linearly with n
@@ -105,6 +107,7 @@ def spec(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
 ) -> SweepSpec:
     """The declarative F3 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -124,6 +127,7 @@ def spec(
             "generator_version": generator_version,
             "readout_shards": readout_shards,
             "store_dir": store_dir,
+            "linalg_backend": linalg_backend,
         },
         render=render_records,
     )
@@ -139,6 +143,7 @@ def run(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
     jobs: int = 1,
 ) -> list[RuntimeSample]:
     """Profile one sparse mixed SBM per size (constant average degree)."""
@@ -154,6 +159,7 @@ def run(
                 generator_version=generator_version,
                 readout_shards=readout_shards,
                 store_dir=store_dir,
+                linalg_backend=linalg_backend,
             ),
             jobs=jobs,
         )

@@ -52,6 +52,7 @@ def _trial(
     generator_version="v1",
     readout_shards=None,
     store_dir=None,
+    linalg_backend="auto",
 ) -> list[TrialRecord]:
     """One F4 trial: noiseless reference fit + finite-shot fit."""
     shots = point["shots"]
@@ -73,6 +74,7 @@ def _trial(
             generator_version=generator_version,
             readout_shards=readout_shards,
             store_dir=store_dir,
+            linalg_backend=linalg_backend,
         ),
     )
     noiseless = reference.run(graph)
@@ -89,6 +91,7 @@ def _trial(
             generator_version=generator_version,
             readout_shards=readout_shards,
             store_dir=store_dir,
+            linalg_backend=linalg_backend,
         ),
     ).run(graph, resume_from="readout", upstream=reference.state)
     embedding_error = float(
@@ -118,6 +121,7 @@ def spec(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
 ) -> SweepSpec:
     """The declarative F4 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -136,6 +140,7 @@ def spec(
             "generator_version": generator_version,
             "readout_shards": readout_shards,
             "store_dir": store_dir,
+            "linalg_backend": linalg_backend,
         },
         render=series,
     )
@@ -151,6 +156,7 @@ def run(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the F4 shots sweep through the sweep engine."""
@@ -166,6 +172,7 @@ def run(
                 generator_version=generator_version,
                 readout_shards=readout_shards,
                 store_dir=store_dir,
+                linalg_backend=linalg_backend,
             ),
             jobs=jobs,
         )

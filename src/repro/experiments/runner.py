@@ -49,6 +49,7 @@ from repro.core.qpe_engine import spectral_cache_stats
 from repro.exceptions import ClusteringError, ExperimentError
 from repro.experiments.common import TrialRecord
 from repro.pipeline.telemetry import (
+    ANNOTATION_KEYS as _PROFILE_ANNOTATIONS,
     SHARD_TOTAL_KEYS as _SHARD_PROFILE_KEYS,
     TOTAL_KEYS as _PROFILE_KEYS,
     merge_totals,
@@ -233,6 +234,14 @@ class SweepResult:
                     **{
                         key: int(entry[key])
                         for key in _SHARD_PROFILE_KEYS
+                        if key in entry
+                    },
+                    # Backend annotations exist only for stages that
+                    # resolved the linalg contract (laplacian/threshold) —
+                    # served jobs can then report which backend ran.
+                    **{
+                        key: str(entry[key])
+                        for key in _PROFILE_ANNOTATIONS
                         if key in entry
                     },
                 }
@@ -473,6 +482,13 @@ def validate_artifact(artifact: dict) -> dict:
                 if key in entry and not isinstance(entry[key], int):
                     raise ExperimentError(
                         f"profile stage {stage!r} shard counter {key!r} mistyped"
+                    )
+            for key in _PROFILE_ANNOTATIONS:
+                # Optional (linalg-resolving stages only), strings when
+                # present.
+                if key in entry and not isinstance(entry[key], str):
+                    raise ExperimentError(
+                        f"profile stage {stage!r} annotation {key!r} mistyped"
                     )
     provenance = artifact.get("provenance")
     if provenance is not None:

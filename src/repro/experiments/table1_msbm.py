@@ -49,6 +49,7 @@ def _trial(
     generator_version="v1",
     readout_shards=None,
     store_dir=None,
+    linalg_backend="auto",
 ) -> list[TrialRecord]:
     """One T1 trial: the full method panel on one mixed SBM instance."""
     num_nodes, num_clusters = point["n"], point["k"]
@@ -68,6 +69,7 @@ def _trial(
         generator_version=generator_version,
         readout_shards=readout_shards,
         store_dir=store_dir,
+        linalg_backend=linalg_backend,
     )
     methods = standard_methods(num_clusters, seed, config)
     return evaluate_methods(
@@ -90,6 +92,7 @@ def spec(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
 ) -> SweepSpec:
     """The declarative T1 sweep (same knobs as :func:`run`)."""
     return SweepSpec(
@@ -110,6 +113,7 @@ def spec(
             "generator_version": generator_version,
             "readout_shards": readout_shards,
             "store_dir": store_dir,
+            "linalg_backend": linalg_backend,
         },
         render=table,
     )
@@ -125,6 +129,7 @@ def run(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
     jobs: int = 1,
 ) -> list[TrialRecord]:
     """Run the T1 sweep and return one record per (method, instance)."""
@@ -140,6 +145,7 @@ def run(
                 generator_version=generator_version,
                 readout_shards=readout_shards,
                 store_dir=store_dir,
+                linalg_backend=linalg_backend,
             ),
             jobs=jobs,
         )

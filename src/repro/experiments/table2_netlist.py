@@ -55,6 +55,7 @@ def _trial(
     generator_version="v1",
     readout_shards=None,
     store_dir=None,
+    linalg_backend="auto",
 ) -> list[TrialRecord]:
     """One T2 trial: the method panel on one synthetic netlist instance."""
     num_modules = point["modules"]
@@ -76,6 +77,7 @@ def _trial(
         seed=seed,
         readout_shards=readout_shards,
         store_dir=store_dir,
+        linalg_backend=linalg_backend,
     )
     methods = standard_methods(num_modules, seed, config, theta=NETLIST_THETA)
     return evaluate_methods(
@@ -98,6 +100,7 @@ def spec(
     generator_version: str = "v1",
     readout_shards: int | None = None,
     store_dir: str | None = None,
+    linalg_backend: str = "auto",
 ) -> SweepSpec:
     """The declarative T2 sweep (same knobs as :func:`run`).
 
@@ -122,6 +125,7 @@ def spec(
             "generator_version": generator_version,
             "readout_shards": readout_shards,
             "store_dir": store_dir,
+            "linalg_backend": linalg_backend,
         },
         render=table,
     )

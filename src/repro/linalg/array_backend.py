@@ -1,0 +1,384 @@
+"""Array-API accelerator backend behind the ``repro.linalg`` contract.
+
+:class:`ArrayBackend` is the third :class:`~repro.linalg.backends.LinalgBackend`
+implementation: it holds matrices as *device arrays* of one array-API
+namespace — CuPy when a GPU stack is importable, torch when available,
+plain numpy otherwise — and implements the full PR 1 contract
+(``from_coo`` / ``identity`` / ``diagonal_matrix`` / ``scale_rows`` /
+``scale_columns`` / ``lowest_eigenpairs`` / ``to_dense``) against that
+namespace.  Host/device transfers happen only at the contract boundary:
+
+* **in** — :meth:`ArrayBackend.from_host` (and every constructor method)
+  moves a host array onto the device once, after the host-side COO
+  assembly that preserves ``np.add.at`` duplicate-summing semantics;
+* **out** — :meth:`ArrayBackend.to_dense` and
+  :meth:`ArrayBackend.lowest_eigenpairs` move results back; the
+  eigensolve itself runs on host LAPACK (``eigh``), because the small
+  k-lowest eigenproblem is transfer-dominated and host LAPACK is exact —
+  the device earns its keep on the O(n²·K) matmul hot paths below.
+
+Consumers stay oblivious: everything between the boundaries speaks the
+array-API surface (``xp.sin``, ``xp.where``, ``@``), so the same code
+runs on numpy, torch or CuPy arrays.
+
+Hot-path dispatch
+-----------------
+The pipeline's three dense hot paths — the QPE outcome-distribution
+broadcast, ``tomography_estimate_batch``'s magnitude/phasor arithmetic
+and the circuit backend's ``F† @ cols`` uncompute collapse — route
+through the module-level ``dispatched_*`` helpers.  Each helper computes
+on the *active* namespace and returns a host array, or returns ``None``
+when no dispatch scope is active — in which case the caller runs its
+original numpy expressions, byte-identically to the pre-dispatch code
+(the default ``dense``/``sparse`` golden digests depend on this).
+
+A scope is activated per pipeline run (never globally) by
+:func:`pipeline_dispatch`, which :meth:`QSCPipeline.run` enters exactly
+when ``QSCConfig.linalg_backend == "array"``; a process that runs an
+``array`` fit followed by a ``dense`` fit therefore produces bit-exact
+legacy output for the second fit.  Scopes nest (a stack) and are
+process-local; the draw-stage thread pools never touch dispatch state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+from repro.linalg.backends import LinalgBackend, BackendError, to_dense_array
+
+#: Preference order of the dispatch namespaces: CUDA first, torch second
+#: (works on CPU too), numpy as the always-available fallback.
+NAMESPACE_ORDER = ("cupy", "torch", "numpy")
+
+
+class ArrayNamespace:
+    """Uniform adapter over one array-API-style namespace.
+
+    ``xp`` is the namespace module itself; the adapter adds only the two
+    operations the array-API standard leaves library-specific — the
+    host→device and device→host transfers — so everything else goes
+    straight through ``xp``.
+    """
+
+    name = "abstract"
+    xp = None
+
+    def asarray(self, array):
+        """Host (or native) array → native device array."""
+        raise NotImplementedError
+
+    def asnumpy(self, array) -> np.ndarray:
+        """Native device array → host ``numpy.ndarray``."""
+        raise NotImplementedError
+
+
+class NumpyNamespace(ArrayNamespace):
+    """The identity adapter: numpy ≥ 2.0 is array-API compliant itself."""
+
+    name = "numpy"
+    xp = np
+
+    def asarray(self, array):
+        return np.asarray(array)
+
+    def asnumpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+
+class TorchNamespace(ArrayNamespace):
+    """torch tensors (CPU or CUDA); float64/complex128 precision is kept
+    because ``torch.asarray`` preserves the numpy dtype."""
+
+    name = "torch"
+
+    def __init__(self, torch):
+        self.xp = torch
+
+    def asarray(self, array):
+        return self.xp.asarray(np.asarray(array))
+
+    def asnumpy(self, array) -> np.ndarray:
+        if hasattr(array, "detach"):
+            return array.detach().cpu().numpy()
+        return np.asarray(array)
+
+
+class CupyNamespace(ArrayNamespace):
+    """CuPy arrays on the default CUDA device."""
+
+    name = "cupy"
+
+    def __init__(self, cupy):
+        self.xp = cupy
+
+    def asarray(self, array):
+        return self.xp.asarray(np.asarray(array))
+
+    def asnumpy(self, array) -> np.ndarray:
+        return self.xp.asnumpy(array)
+
+
+def _load_namespace(name: str) -> ArrayNamespace | None:
+    """Adapter for ``name``, or ``None`` when the library is unusable."""
+    if name == "numpy":
+        return NumpyNamespace()
+    if name == "torch":
+        try:
+            import torch
+        except ImportError:
+            return None
+        return TorchNamespace(torch)
+    if name == "cupy":
+        try:
+            import cupy
+
+            # Importable CuPy without a reachable device raises at first
+            # kernel launch; probe once here so resolution never selects
+            # a namespace that cannot compute.
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                return None
+        except Exception:
+            return None
+        return CupyNamespace(cupy)
+    raise BackendError(
+        f"unknown array namespace {name!r}; expected one of {NAMESPACE_ORDER}"
+    )
+
+
+def available_namespaces() -> tuple[str, ...]:
+    """Names of the importable dispatch namespaces, in preference order."""
+    return tuple(
+        name for name in NAMESPACE_ORDER if _load_namespace(name) is not None
+    )
+
+
+def default_namespace_name() -> str:
+    """The namespace :class:`ArrayBackend` dispatches to by default."""
+    return available_namespaces()[0]  # numpy always qualifies
+
+
+def resolve_namespace(namespace=None) -> ArrayNamespace:
+    """Adapter instance for a namespace spec (name, adapter, or ``None``).
+
+    ``None`` picks the best available namespace per
+    :data:`NAMESPACE_ORDER`; an explicit name that is not importable is a
+    :class:`~repro.linalg.backends.BackendError` (never a silent numpy
+    downgrade — the caller asked for that device on purpose).
+    """
+    if isinstance(namespace, ArrayNamespace):
+        return namespace
+    if namespace is None:
+        return _load_namespace(default_namespace_name())
+    loaded = _load_namespace(namespace)
+    if loaded is None:
+        raise BackendError(
+            f"array namespace {namespace!r} is not importable on this host; "
+            f"available: {', '.join(available_namespaces())}"
+        )
+    return loaded
+
+
+class ArrayBackend(LinalgBackend):
+    """Dense device arrays through one array-API namespace.
+
+    Parameters
+    ----------
+    namespace:
+        ``"cupy"``, ``"torch"``, ``"numpy"``, an :class:`ArrayNamespace`
+        adapter, or ``None`` for the best available (the default the
+        ``"array"`` backend name resolves to).
+
+    Notes
+    -----
+    The native representation is *dense on device* — accelerators trade
+    memory for throughput, so COO assembly happens on host (preserving
+    ``np.add.at`` duplicate-summing exactly) and transfers once.
+    ``lowest_eigenpairs`` transfers back and solves on host LAPACK: the
+    k-lowest Hermitian eigenproblem at contract sizes is dominated by
+    the transfer either way, and host ``eigh`` keeps the result
+    tolerance-equal to the dense backend (property-tested in
+    ``tests/linalg/test_array_backend.py``).
+    """
+
+    name = "array"
+
+    def __init__(self, namespace=None):
+        self._namespace = resolve_namespace(namespace)
+
+    @property
+    def namespace(self) -> str:
+        """Name of the namespace this backend dispatches to."""
+        return self._namespace.name
+
+    @property
+    def adapter(self) -> ArrayNamespace:
+        """The underlying :class:`ArrayNamespace` adapter."""
+        return self._namespace
+
+    # -- contract boundary: explicit transfer points ----------------------
+
+    def from_host(self, array):
+        """Host array → native device array (the single inbound transfer)."""
+        return self._namespace.asarray(np.asarray(array))
+
+    def to_dense(self, matrix) -> np.ndarray:
+        """Native device array → host ndarray (the outbound transfer)."""
+        return self._namespace.asnumpy(matrix)
+
+    # -- construction ------------------------------------------------------
+
+    def from_coo(self, rows, cols, values, shape, dtype=complex):
+        host = np.zeros(shape, dtype=dtype)
+        np.add.at(host, (np.asarray(rows), np.asarray(cols)), values)
+        return self.from_host(host)
+
+    def identity(self, n: int, dtype=complex):
+        return self.from_host(np.eye(n, dtype=dtype))
+
+    def diagonal_matrix(self, values):
+        return self.from_host(np.diag(np.asarray(values)))
+
+    # -- scaling -----------------------------------------------------------
+
+    def scale_rows(self, matrix, scale):
+        return self.from_host(np.asarray(scale))[:, None] * matrix
+
+    def scale_columns(self, matrix, scale):
+        return matrix * self.from_host(np.asarray(scale))[None, :]
+
+    # -- solving -----------------------------------------------------------
+
+    def lowest_eigenpairs(self, matrix, k: int):
+        host = to_dense_array(self._namespace.asnumpy(matrix), copy=False)
+        n = host.shape[0]
+        if not 1 <= k <= n:
+            raise ConvergenceError(f"k must be in [1, {n}], got {k}")
+        if not np.allclose(host, host.conj().T, atol=1e-8):
+            raise ConvergenceError("lowest_eigenpairs requires a Hermitian matrix")
+        values, vectors = np.linalg.eigh(host)
+        return values[:k], vectors[:, :k]
+
+
+# -- hot-path dispatch -----------------------------------------------------
+
+#: Stack of active dispatch namespaces; empty = dispatch inactive and the
+#: hot paths run their original numpy expressions byte-identically.
+_DISPATCH_STACK: list[ArrayNamespace] = []
+
+
+def active_namespace() -> ArrayNamespace | None:
+    """The namespace hot paths dispatch to, or ``None`` when inactive."""
+    return _DISPATCH_STACK[-1] if _DISPATCH_STACK else None
+
+
+@contextlib.contextmanager
+def dispatch_scope(namespace=None):
+    """Activate hot-path dispatch to ``namespace`` for the enclosed block."""
+    resolved = resolve_namespace(namespace)
+    _DISPATCH_STACK.append(resolved)
+    try:
+        yield resolved
+    finally:
+        _DISPATCH_STACK.pop()
+
+
+@contextlib.contextmanager
+def pipeline_dispatch(backend_spec):
+    """Dispatch scope of one pipeline run.
+
+    Active exactly when the run's linalg backend is ``"array"`` (the
+    spec may be the name or an :class:`ArrayBackend` instance); any
+    other backend yields a no-op scope, so dense/sparse runs in the same
+    process — including ones *after* an array run — execute the
+    unchanged numpy hot paths bit-exactly.
+    """
+    if backend_spec == "array":
+        with dispatch_scope() as namespace:
+            yield namespace
+    elif isinstance(backend_spec, ArrayBackend):
+        with dispatch_scope(backend_spec.adapter) as namespace:
+            yield namespace
+    else:
+        yield None
+
+
+def dispatched_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """``a @ b`` on the active device, or ``None`` when dispatch is off.
+
+    The circuit backend's ``F† @ cols`` uncompute collapse routes here:
+    both operands transfer in, the product transfers out — one round
+    trip around the O(dim²·K) contraction that dominates batched
+    gate-level readout.
+    """
+    namespace = active_namespace()
+    if namespace is None:
+        return None
+    device = namespace.asarray(a) @ namespace.asarray(b)
+    return namespace.asnumpy(device)
+
+
+def dispatched_outcome_distributions(
+    phases: np.ndarray, precision: int
+) -> np.ndarray | None:
+    """Device-side QPE Dirichlet-kernel broadcast, or ``None`` if inactive.
+
+    Same closed form as the numpy block in
+    :func:`repro.quantum.phase_estimation.qpe_outcome_distributions`
+    (which remains the byte-exact reference when dispatch is off);
+    device FMA ordering may differ in the last ulps, which is why the
+    array backend is property-tested tolerance-based.
+    """
+    namespace = active_namespace()
+    if namespace is None:
+        return None
+    xp = namespace.xp
+    size = 2**precision
+    device_phases = namespace.asarray(np.asarray(phases, dtype=float))
+    outcomes = namespace.asarray(np.arange(size, dtype=float) / size)
+    delta = device_phases[:, None] - outcomes[None, :]
+    sin_delta = xp.sin(math.pi * delta)
+    numerator = xp.sin(math.pi * size * delta) ** 2
+    denominator = (size * sin_delta) ** 2
+    near_zero = xp.abs(sin_delta) <= 1e-12
+    ones = xp.ones_like(denominator)
+    probs = xp.where(near_zero, ones, numerator / xp.where(near_zero, ones, denominator))
+    totals = xp.sum(probs, axis=1)
+    off = xp.abs(totals - 1.0) > 1e-8
+    probs = xp.where(off[:, None], probs / totals[:, None], probs)
+    return namespace.asnumpy(probs)
+
+
+def dispatched_squared_magnitudes(states: np.ndarray) -> np.ndarray | None:
+    """``|states|²`` elementwise on the active device (``None`` if off).
+
+    The one squared-magnitude pass of ``tomography_estimate_batch``
+    serves normalization, the multinomial pvals and the phase-noise
+    scale — at (rows × dim) batch sizes it is the largest deterministic
+    array op on the tomography path.
+    """
+    namespace = active_namespace()
+    if namespace is None:
+        return None
+    xp = namespace.xp
+    device = namespace.asarray(states)
+    return namespace.asnumpy(xp.real(device) ** 2 + xp.imag(device) ** 2)
+
+
+def dispatched_unit_phasors(phases: np.ndarray) -> np.ndarray | None:
+    """``cos(phases) + i·sin(phases)`` on the active device (``None`` if off).
+
+    Tomography's estimate assembly multiplies these unit phasors by the
+    estimated magnitudes; the trigonometry is the dispatchable part —
+    the fancy-indexed scatter stays on host.
+    """
+    namespace = active_namespace()
+    if namespace is None:
+        return None
+    xp = namespace.xp
+    device = namespace.asarray(np.asarray(phases, dtype=float))
+    cos, sin = namespace.asnumpy(xp.cos(device)), namespace.asnumpy(xp.sin(device))
+    return cos + 1j * sin

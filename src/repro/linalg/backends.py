@@ -25,11 +25,16 @@ matrix-consuming solver in the spectral layer goes through a
    representations, so any consumer can accept "either representation"
    through one call.
 
-Backends are selected by name: ``"dense"``, ``"sparse"``, or ``"auto"``
-(:func:`resolve_backend`), where ``auto`` picks sparse for graphs with at
-least :data:`SPARSE_AUTO_THRESHOLD` nodes when SciPy is importable and
-dense otherwise.  The ``--backend`` CLI flag and
-``QSCConfig.linalg_backend`` expose the same three names.
+Backends are selected by name: ``"dense"``, ``"sparse"``, ``"array"``
+(the array-API accelerator backend — see
+:mod:`repro.linalg.array_backend`) or ``"auto"``
+(:func:`resolve_backend`).  ``auto`` picks by problem size in three
+bands: dense below :data:`SPARSE_AUTO_THRESHOLD` nodes, the sparse
+backend's preconditioned LOBPCG route in the *midrange* band up to
+:data:`LOBPCG_AUTO_CEILING` (where ARPACK's Lanczos struggles on
+ill-conditioned graphs), and ARPACK ``eigsh`` above it; a SciPy-less
+host degrades every band to dense.  The ``--backend`` CLI flag and
+``QSCConfig.linalg_backend`` expose the same names.
 """
 
 from __future__ import annotations
@@ -48,15 +53,29 @@ except ImportError:  # pragma: no cover - exercised only on scipy-less hosts
     _sparse_linalg = None
     HAVE_SCIPY = False
 
-BACKEND_NAMES = ("auto", "dense", "sparse")
+BACKEND_NAMES = ("auto", "dense", "sparse", "array")
 
-# "auto" switches to the sparse backend at this node count: below it a
-# dense eigh on the full matrix is faster than assembling CSR + ARPACK.
+# "auto" switches off the dense backend at this node count: below it a
+# dense eigh on the full matrix is faster than assembling CSR + iterating.
 SPARSE_AUTO_THRESHOLD = 256
+
+# Upper edge of the "auto" midrange band: from SPARSE_AUTO_THRESHOLD up to
+# (excluding) this node count the sparse backend solves with preconditioned
+# LOBPCG — the standard fix for ill-conditioned graphs where ARPACK's
+# shiftless Lanczos needs many restarts — and from here up with eigsh,
+# whose convergence per iteration wins once the spectrum is large and the
+# matrix is truly sparse.
+LOBPCG_AUTO_CEILING = 4096
 
 # The sparse solver falls back to a dense eigh below this dimension (ARPACK
 # start-up costs dominate) and whenever k is too close to n for Lanczos.
 DENSE_FALLBACK_DIM = 64
+
+# SciPy's lobpcg *warns* instead of raising on non-convergence, so the
+# sparse backend verifies residual norms itself and falls back to eigsh
+# when they exceed this relative bound.
+LOBPCG_RESIDUAL_RTOL = 1e-6
+HAVE_LOBPCG = HAVE_SCIPY and hasattr(_sparse_linalg, "lobpcg")
 
 
 class BackendError(ReproError):
@@ -68,14 +87,39 @@ def is_sparse_matrix(matrix) -> bool:
     return HAVE_SCIPY and _sparse.issparse(matrix)
 
 
-def to_dense_array(matrix, dtype=None) -> np.ndarray:
-    """Densify ``matrix`` (no copy for arrays already dense)."""
+def to_dense_array(matrix, dtype=None, copy: bool | None = None) -> np.ndarray:
+    """Densify ``matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        Dense ndarray, ``scipy.sparse`` matrix, or anything
+        ``np.asarray`` accepts.
+    dtype:
+        Target dtype (converted only when it differs).
+    copy:
+        * ``False`` — the documented read-only fast path: the result may
+          *alias* ``matrix`` (it does whenever the input is already a
+          dense array of the right dtype), so the caller must not write
+          to it.  This is the right mode for consumers that only read —
+          eigensolves, spectral decompositions, fingerprinting.
+        * ``True`` — always return a fresh array the caller owns and may
+          mutate freely.
+        * ``None`` (default) — legacy behaviour, identical to ``False``
+          except undocumented; kept so existing call sites keep their
+          exact no-copy semantics.
+    """
     if is_sparse_matrix(matrix):
-        dense = matrix.toarray()
+        dense = matrix.toarray()  # toarray always allocates: a fresh copy
+        fresh = True
     else:
         dense = np.asarray(matrix)
-    if dtype is not None:
-        dense = dense.astype(dtype, copy=False)
+        fresh = False
+    if dtype is not None and dense.dtype != np.dtype(dtype):
+        dense = dense.astype(dtype)
+        fresh = True
+    if copy and not fresh:
+        dense = dense.copy()
     return dense
 
 
@@ -150,7 +194,8 @@ class DenseBackend(LinalgBackend):
         return matrix * np.asarray(scale)[None, :]
 
     def lowest_eigenpairs(self, matrix, k: int):
-        matrix = to_dense_array(matrix)
+        # eigh only reads its input, so the no-copy fast path is safe
+        matrix = to_dense_array(matrix, copy=False)
         n = matrix.shape[0]
         if not 1 <= k <= n:
             raise ConvergenceError(f"k must be in [1, {n}], got {k}")
@@ -160,16 +205,35 @@ class DenseBackend(LinalgBackend):
 
 
 class SparseBackend(LinalgBackend):
-    """CSR matrices + ARPACK Lanczos — O(nnz) memory, O(k·nnz) solve.
+    """CSR matrices + iterative eigensolvers — O(nnz) memory.
 
     Parameters
     ----------
     dense_fallback_dim:
         Below this dimension :meth:`lowest_eigenpairs` densifies and calls
-        LAPACK instead of ARPACK (also used whenever ``k >= n - 1``, which
-        ARPACK cannot handle).
+        LAPACK instead of an iterative solver (also used whenever
+        ``k >= n - 1``, which ARPACK cannot handle).
     eigsh_tolerance:
         Relative accuracy passed to ``eigsh`` (0 = machine precision).
+    solver:
+        ``"eigsh"`` (ARPACK Lanczos, the classic route) or ``"lobpcg"``
+        (block LOBPCG with a deterministic start block and a
+        degree/Jacobi preconditioner — the midrange route ``auto``
+        selects between :data:`SPARSE_AUTO_THRESHOLD` and
+        :data:`LOBPCG_AUTO_CEILING` nodes).  LOBPCG results are verified
+        by residual norm; non-convergence falls back to ``eigsh``
+        automatically, so the route can only change speed, not
+        correctness.
+    lobpcg_tolerance / lobpcg_maxiter:
+        LOBPCG stopping controls (residual tolerance and iteration cap).
+
+    Attributes
+    ----------
+    last_route:
+        The solver route the most recent :meth:`lowest_eigenpairs` call
+        actually took: ``"dense"``, ``"eigsh"``, ``"lobpcg"`` or
+        ``"lobpcg->eigsh"`` (requested LOBPCG, fell back).  Telemetry
+        reads this; ``None`` before the first solve.
     """
 
     name = "sparse"
@@ -178,14 +242,29 @@ class SparseBackend(LinalgBackend):
         self,
         dense_fallback_dim: int = DENSE_FALLBACK_DIM,
         eigsh_tolerance: float = 0.0,
+        solver: str = "eigsh",
+        lobpcg_tolerance: float = 1e-8,
+        lobpcg_maxiter: int = 500,
     ):
         if not HAVE_SCIPY:
             raise BackendError(
                 "SparseBackend requires scipy; install scipy or use the "
                 "dense backend"
             )
+        if solver not in ("eigsh", "lobpcg"):
+            raise BackendError(
+                f"unknown sparse solver {solver!r}; expected 'eigsh' or 'lobpcg'"
+            )
+        if solver == "lobpcg" and not HAVE_LOBPCG:
+            raise BackendError(
+                "this scipy build has no lobpcg; use solver='eigsh'"
+            )
         self.dense_fallback_dim = int(dense_fallback_dim)
         self.eigsh_tolerance = float(eigsh_tolerance)
+        self.solver = solver
+        self.lobpcg_tolerance = float(lobpcg_tolerance)
+        self.lobpcg_maxiter = int(lobpcg_maxiter)
+        self.last_route: str | None = None
 
     def from_coo(self, rows, cols, values, shape, dtype=complex):
         matrix = _sparse.coo_matrix(
@@ -214,9 +293,10 @@ class SparseBackend(LinalgBackend):
             raise ConvergenceError(f"k must be in [1, {n}], got {k}")
         if n <= self.dense_fallback_dim or k >= n - 1:
             # ARPACK needs k < n and is slower than LAPACK at small n.
-            dense = to_dense_array(matrix, complex)
+            dense = to_dense_array(matrix, complex, copy=False)
             _require_hermitian_dense(dense)
             values, vectors = np.linalg.eigh(dense)
+            self.last_route = "dense"
             return values[:k], vectors[:, :k]
         csr = _sparse.csr_matrix(matrix)
         # O(nnz) hermiticity guard — eigh/eigsh silently use one triangle
@@ -224,6 +304,13 @@ class SparseBackend(LinalgBackend):
         asymmetry = abs(csr - csr.getH())
         if asymmetry.nnz and asymmetry.max() > 1e-8:
             raise ConvergenceError("lowest_eigenpairs requires a Hermitian matrix")
+        route = "eigsh"
+        if self.solver == "lobpcg":
+            solved = self._lobpcg_eigenpairs(csr, k, n)
+            if solved is not None:
+                self.last_route = "lobpcg"
+                return solved
+            route = "lobpcg->eigsh"
         # Deterministic start vector: eigsh defaults to a random one, which
         # would make cluster labels run-to-run nondeterministic.
         v0 = np.random.default_rng(0).normal(size=n)
@@ -237,31 +324,139 @@ class SparseBackend(LinalgBackend):
                 f"{error}"
             ) from error
         order = np.argsort(values)
+        self.last_route = route
+        return values[order], vectors[:, order]
+
+    def _lobpcg_eigenpairs(self, csr, k: int, n: int):
+        """Preconditioned LOBPCG solve, or ``None`` when it cannot be
+        trusted (unavailable, ill-posed block size, or residuals above
+        :data:`LOBPCG_RESIDUAL_RTOL`) — the caller then runs eigsh.
+
+        Determinism matches the eigsh route's contract: the start block
+        comes from ``default_rng(0)``, so repeated solves of the same
+        matrix return bit-identical eigenpairs.  The preconditioner is
+        the Jacobi/degree inverse-diagonal — for Laplacian-like matrices
+        the diagonal carries the degree spread that makes the problem
+        ill-conditioned, which is exactly the midrange failure mode this
+        route exists for.
+        """
+        if not HAVE_LOBPCG or 5 * k >= n:
+            # LOBPCG's Rayleigh–Ritz block needs headroom (rule of thumb
+            # 5k < n) or its internal orthogonalisation degrades.
+            return None
+        rng = np.random.default_rng(0)
+        block = rng.normal(size=(n, k))
+        if np.iscomplexobj(csr):
+            block = block + 1j * rng.normal(size=(n, k))
+        diagonal = csr.diagonal().real
+        preconditioner = None
+        if np.all(np.abs(diagonal) > 1e-12):
+            # Jacobi/degree preconditioner as a sparse diagonal matrix —
+            # M ≈ A⁻¹ on the diagonal, which captures the degree spread
+            # of unnormalized Laplacians (for the unit-diagonal symmetric
+            # normalization it degenerates to the identity, harmlessly).
+            preconditioner = _sparse.diags(1.0 / diagonal).tocsr()
+        import warnings
+
+        with warnings.catch_warnings():
+            # lobpcg signals non-convergence with a UserWarning; the
+            # residual check below is the authoritative verdict.
+            warnings.simplefilter("ignore")
+            try:
+                values, vectors = _sparse_linalg.lobpcg(
+                    csr,
+                    block,
+                    M=preconditioner,
+                    largest=False,
+                    tol=self.lobpcg_tolerance,
+                    maxiter=self.lobpcg_maxiter,
+                )
+            except Exception:
+                return None
+        if not (np.all(np.isfinite(values)) and np.all(np.isfinite(vectors))):
+            return None
+        # Residual verification: ||A v - λ v|| per pair, relative to the
+        # matrix scale — the only convergence signal lobpcg cannot fake.
+        residual = csr @ vectors - vectors * values[None, :]
+        scale = max(float(np.abs(values).max()), 1.0)
+        if np.linalg.norm(residual, axis=0).max() > LOBPCG_RESIDUAL_RTOL * scale * n:
+            return None
+        order = np.argsort(values)
         return values[order], vectors[:, order]
 
 
 _DENSE = DenseBackend()
 
 
+def backend_availability() -> dict[str, str | None]:
+    """Availability of every backend name: ``None`` = usable, else why not.
+
+    The reasons feed :func:`get_backend`'s error message, so a typo'd or
+    unavailable ``--backend`` value tells the user exactly what the valid
+    choices are *on this host* and why the missing ones are missing.
+    """
+    from repro.linalg import array_backend
+
+    availability: dict[str, str | None] = {"auto": None, "dense": None}
+    availability["sparse"] = (
+        None if HAVE_SCIPY else "requires scipy, which is not importable"
+    )
+    namespaces = array_backend.available_namespaces()
+    if namespaces:
+        availability["array"] = None
+    else:  # pragma: no cover - numpy always qualifies in practice
+        availability["array"] = "no array-API namespace importable"
+    return availability
+
+
+def _describe_backends() -> str:
+    """One-line per-name availability summary for error messages."""
+    from repro.linalg import array_backend
+
+    parts = []
+    for name, reason in backend_availability().items():
+        if reason is not None:
+            parts.append(f"{name} (unavailable: {reason})")
+        elif name == "array":
+            parts.append(
+                f"array (dispatches to {array_backend.default_namespace_name()})"
+            )
+        else:
+            parts.append(f"{name} (available)")
+    return ", ".join(parts)
+
+
 def get_backend(name: str) -> LinalgBackend:
-    """Backend instance for an explicit name (``"dense"`` or ``"sparse"``)."""
+    """Backend instance for an explicit name (``"dense"``, ``"sparse"``,
+    or ``"array"``)."""
     if isinstance(name, LinalgBackend):
         return name
     if name == "dense":
         return _DENSE
     if name == "sparse":
         return SparseBackend()
+    if name == "array":
+        from repro.linalg.array_backend import ArrayBackend
+
+        return ArrayBackend()
     raise BackendError(
-        f"unknown linalg backend {name!r}; expected one of {BACKEND_NAMES}"
+        f"unknown linalg backend {name!r}; valid backends: {_describe_backends()}"
     )
 
 
 def resolve_backend(spec, num_nodes: int | None = None) -> LinalgBackend:
-    """Resolve a backend spec (``"auto"``/``"dense"``/``"sparse"``/instance).
+    """Resolve a backend spec (name or instance) to a backend.
 
-    ``"auto"`` selects the sparse backend when the problem has at least
-    :data:`SPARSE_AUTO_THRESHOLD` nodes and SciPy is available; everything
-    smaller (or a SciPy-less host) stays dense, where LAPACK wins.
+    ``"auto"`` picks by problem size in three bands (when SciPy is
+    available; a SciPy-less host stays dense everywhere):
+
+    * ``num_nodes < SPARSE_AUTO_THRESHOLD`` — dense; LAPACK wins small.
+    * ``SPARSE_AUTO_THRESHOLD <= num_nodes < LOBPCG_AUTO_CEILING`` — the
+      sparse backend's preconditioned LOBPCG route (midrange graphs are
+      where ARPACK's shiftless Lanczos struggles on ill-conditioned
+      spectra; LOBPCG still falls back to eigsh if it fails to
+      converge).  A scipy build without ``lobpcg`` uses eigsh directly.
+    * ``num_nodes >= LOBPCG_AUTO_CEILING`` — sparse with ARPACK eigsh.
     """
     if isinstance(spec, LinalgBackend):
         return spec
@@ -271,9 +466,34 @@ def resolve_backend(spec, num_nodes: int | None = None) -> LinalgBackend:
             and num_nodes is not None
             and num_nodes >= SPARSE_AUTO_THRESHOLD
         ):
+            if num_nodes < LOBPCG_AUTO_CEILING and HAVE_LOBPCG:
+                return SparseBackend(solver="lobpcg")
             return SparseBackend()
         return _DENSE
     return get_backend(spec)
+
+
+def backend_telemetry(spec, num_nodes: int | None = None) -> dict:
+    """Flat telemetry row describing what ``spec`` resolves to.
+
+    Returns ``{"linalg_backend": ..., "eigensolver": ...}`` — the
+    resolved backend name (with the dispatch namespace for the array
+    backend) and the eigensolver route its ``lowest_eigenpairs`` takes.
+    Stage telemetry and sweep artifacts carry these strings so served
+    jobs expose which backend actually ran.
+    """
+    backend = resolve_backend(spec, num_nodes)
+    if backend.name == "sparse":
+        solver = backend.solver
+        if num_nodes is not None and num_nodes <= backend.dense_fallback_dim:
+            solver = "eigh"
+        return {"linalg_backend": "sparse", "eigensolver": solver}
+    if backend.name == "array":
+        return {
+            "linalg_backend": f"array[{backend.namespace}]",
+            "eigensolver": "eigh",
+        }
+    return {"linalg_backend": backend.name, "eigensolver": "eigh"}
 
 
 def as_backend_matrix(matrix, backend) -> object:
@@ -281,8 +501,11 @@ def as_backend_matrix(matrix, backend) -> object:
 
     This is the single conversion point consumers use to accept either
     representation: the QPE engines densify through it, the sparse
-    eigensolvers CSR-ify through it, and it is a no-op when the matrix is
-    already native.
+    eigensolvers CSR-ify through it, the array backend transfers to its
+    device through it, and it is a no-op when the matrix is already
+    native.  The dense result of the dense path may alias ``matrix``
+    (the ``copy=False`` read-only fast path) — consumers of this adapter
+    treat matrices as immutable.
     """
     backend = resolve_backend(
         backend, matrix.shape[0] if hasattr(matrix, "shape") else None
@@ -291,4 +514,6 @@ def as_backend_matrix(matrix, backend) -> object:
         if is_sparse_matrix(matrix):
             return matrix.tocsr()
         return _sparse.csr_matrix(np.asarray(matrix))
-    return to_dense_array(matrix)
+    if backend.name == "array":
+        return backend.from_host(to_dense_array(matrix, copy=False))
+    return to_dense_array(matrix, copy=False)

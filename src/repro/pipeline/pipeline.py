@@ -33,6 +33,7 @@ from repro.core.config import QSCConfig
 from repro.core.qpe_engine import spectral_cache_stats
 from repro.core.result import QSCResult
 from repro.exceptions import ClusteringError
+from repro.linalg.array_backend import pipeline_dispatch
 from repro.pipeline import checkpoint, telemetry
 from repro.pipeline.stage import StageContext
 from repro.pipeline.stages import STAGE_NAMES, build_stages
@@ -183,11 +184,46 @@ class QSCPipeline:
         )
         reports = []
         degraded: list[str] = []
+        # Hot-path dispatch is scoped to this run: active exactly when the
+        # config selects the ``array`` backend, a no-op otherwise — so
+        # dense/sparse runs (including ones after an array run in the same
+        # process) execute the unchanged numpy hot paths bit-exactly.
+        with pipeline_dispatch(cfg.linalg_backend):
+            self._run_stages(
+                ctx, reports, degraded, resume_index, upstream,
+                stages_dir, save_stages, store,
+            )
+
+        if degraded:
+            # Mark the state so reusing it in memory (``upstream=
+            # pipeline.state``) downstream of the degradation is refused —
+            # the degraded stage's outputs carry zeroed rows that are
+            # otherwise indistinguishable from complete ones.
+            ctx.state["degraded_stages"] = tuple(degraded)
+        self.state = ctx.state
+        self.profile = tuple(report.as_dict() for report in reports)
+        return self._assemble(ctx)
+
+    def _run_stages(
+        self,
+        ctx: StageContext,
+        reports: list,
+        degraded: list,
+        resume_index: int,
+        upstream: dict | None,
+        stages_dir,
+        save_stages,
+        store,
+    ) -> None:
+        """Execute (or load) every stage, appending telemetry reports."""
+        cfg = self.config
+        graph = ctx.graph
         for index, stage in enumerate(build_stages()):
             cache_before = spectral_cache_stats()
             start = time.perf_counter()
             ctx.shard_reports = ()
             ctx.incomplete_shards = ()
+            ctx.backend_info = {}
             # The context fingerprint binds a checkpoint to everything the
             # stage's output depends on (graph content, requested k, its
             # cumulative config fields) — loading under a different graph
@@ -277,19 +313,11 @@ class QSCPipeline:
                 cache_misses=cache_after["misses"] - cache_before["misses"],
                 shards=ctx.shard_reports,
                 incomplete_shards=ctx.incomplete_shards,
+                backend=ctx.backend_info.get("linalg_backend"),
+                eigensolver=ctx.backend_info.get("eigensolver"),
             )
             telemetry.record_stage(report)
             reports.append(report)
-
-        if degraded:
-            # Mark the state so reusing it in memory (``upstream=
-            # pipeline.state``) downstream of the degradation is refused —
-            # the degraded stage's outputs carry zeroed rows that are
-            # otherwise indistinguishable from complete ones.
-            ctx.state["degraded_stages"] = tuple(degraded)
-        self.state = ctx.state
-        self.profile = tuple(report.as_dict() for report in reports)
-        return self._assemble(ctx)
 
     def _assemble(self, ctx: StageContext) -> QSCResult:
         """Fold the final stage state into the public result record."""

@@ -64,6 +64,12 @@ class StageContext:
         Side channel a sharded stage fills during ``run``; the driver
         folds them into the stage's :class:`~repro.pipeline.telemetry.StageReport`
         and resets them between stages.
+    backend_info:
+        Side channel for linalg telemetry: a stage that resolves the
+        linalg backend records ``{"linalg_backend": ..., "eigensolver":
+        ...}`` here (see :func:`repro.linalg.backends.backend_telemetry`);
+        the driver annotates the stage's report with it and resets the
+        dict between stages.
     """
 
     graph: object
@@ -76,6 +82,7 @@ class StageContext:
     fingerprint: str = ""
     shard_reports: tuple = ()
     incomplete_shards: tuple = ()
+    backend_info: dict = field(default_factory=dict)
 
     def require(self, key: str):
         """Fetch a state value a stage declared in ``requires``."""

@@ -33,7 +33,7 @@ from repro.core.qpe_engine import make_backend
 from repro.core.readout import batched_readout
 from repro.exceptions import ClusteringError
 from repro.graphs.hermitian import hermitian_laplacian
-from repro.linalg import is_sparse_matrix
+from repro.linalg import backend_telemetry, is_sparse_matrix
 from repro.pipeline.stage import Stage, StageContext, scalar
 from repro.spectral.embedding import complex_to_real_features, row_normalize
 from repro.spectral.kmeans import KMeansResult
@@ -79,6 +79,9 @@ class LaplacianStage(Stage):
 
     def run(self, ctx: StageContext) -> dict:
         cfg = ctx.config
+        ctx.backend_info = backend_telemetry(
+            cfg.linalg_backend, ctx.graph.num_nodes
+        )
         laplacian = hermitian_laplacian(
             ctx.graph,
             theta=cfg.theta,
@@ -129,6 +132,9 @@ class ThresholdStage(Stage):
 
     def run(self, ctx: StageContext) -> dict:
         cfg = ctx.config
+        ctx.backend_info = backend_telemetry(
+            cfg.linalg_backend, ctx.graph.num_nodes
+        )
         backend = ctx.require("backend")
         histogram = backend.eigenvalue_histogram(
             cfg.histogram_shots, ctx.rngs["histogram"]

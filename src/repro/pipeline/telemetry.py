@@ -39,6 +39,13 @@ SHARD_TOTAL_KEYS = (
     "shards_failed",
 )
 
+#: String annotation keys a stage may attach to its totals entry (set by
+#: the stages that resolve the linalg backend — see
+#: :func:`repro.linalg.backends.backend_telemetry`).  Like the shard
+#: counters they appear only where recorded, so the classic totals shape
+#: is unchanged for every other stage.
+ANNOTATION_KEYS = ("linalg_backend", "eigensolver")
+
 
 @dataclass(frozen=True)
 class ShardReport:
@@ -111,6 +118,11 @@ class StageReport:
     incomplete_shards:
         Shard indices that failed under graceful degradation — their rows
         are zero in the merged output.  Empty on complete runs.
+    backend / eigensolver:
+        Resolved linalg backend (``"dense"``, ``"sparse"``,
+        ``"array[numpy]"``, …) and eigensolver route (``"eigh"``,
+        ``"eigsh"``, ``"lobpcg"``) for stages that solve — ``None`` on
+        stages that don't touch the linalg contract.
     """
 
     stage: str
@@ -120,6 +132,8 @@ class StageReport:
     cache_misses: int
     shards: tuple = ()
     incomplete_shards: tuple = ()
+    backend: str | None = None
+    eigensolver: str | None = None
 
     def as_dict(self) -> dict:
         """Plain-dict form used by ``QSCResult.profile`` and the CLI."""
@@ -133,6 +147,10 @@ class StageReport:
         if self.shards:
             row["shards"] = [shard.as_dict() for shard in self.shards]
             row["incomplete_shards"] = [int(i) for i in self.incomplete_shards]
+        if self.backend is not None:
+            row["linalg_backend"] = self.backend
+        if self.eigensolver is not None:
+            row["eigensolver"] = self.eigensolver
         return row
 
 
@@ -162,6 +180,12 @@ def record_stage(report: StageReport) -> None:
             else:
                 entry["shards_failed"] += 1
             entry["shards_retried"] += max(0, int(shard.attempts) - 1)
+    # Annotations overwrite (latest run wins) rather than accumulate —
+    # they describe *which* backend ran, not how much work it did.
+    if report.backend is not None:
+        entry["linalg_backend"] = report.backend
+    if report.eigensolver is not None:
+        entry["eigensolver"] = report.eigensolver
 
 
 def stage_totals() -> dict:
@@ -192,6 +216,10 @@ def totals_delta(before: dict, after: dict) -> dict:
         keys = TOTAL_KEYS + tuple(k for k in SHARD_TOTAL_KEYS if k in entry)
         row = {key: entry[key] - base.get(key, 0) for key in keys}
         if row["computed"] or row["loaded"] or row["seconds"]:
+            # String annotations are copied, not subtracted.
+            for key in ANNOTATION_KEYS:
+                if key in entry:
+                    row[key] = entry[key]
             delta[stage] = row
     return delta
 
@@ -203,7 +231,10 @@ def merge_totals(accumulator: dict, delta: dict) -> dict:
             stage, {"seconds": 0.0, "computed": 0, "loaded": 0}
         )
         for key in row:
-            entry[key] = entry.get(key, 0) + row[key]
+            if isinstance(row[key], str):
+                entry[key] = row[key]
+            else:
+                entry[key] = entry.get(key, 0) + row[key]
     return accumulator
 
 
@@ -231,5 +262,8 @@ def profile_stage_rows(profile: dict, order: tuple = ()) -> list[dict]:
         for key in SHARD_TOTAL_KEYS:
             if key in entry:
                 row[key] = int(entry[key])
+        for key in ANNOTATION_KEYS:
+            if key in entry:
+                row[key] = str(entry[key])
         rows.append(row)
     return rows

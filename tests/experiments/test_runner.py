@@ -195,6 +195,8 @@ class TestSweepRunner:
             "seconds": result.profile["laplacian"]["seconds"],
             "computed": 1,
             "loaded": 1,
+            "linalg_backend": "dense",
+            "eigensolver": "eigh",
         }
         assert result.profile["readout"]["computed"] == 2
         assert result.profile["qmeans"]["computed"] == 2

@@ -8,11 +8,15 @@ from repro.core.qpe_engine import PAD_EIGENVALUE, AnalyticQPEBackend, pad_laplac
 from repro.exceptions import ClusteringError, ConvergenceError
 from repro.graphs import hermitian_laplacian, mixed_sbm, sparse_mixed_sbm
 from repro.linalg import (
+    HAVE_LOBPCG,
+    LOBPCG_AUTO_CEILING,
     SPARSE_AUTO_THRESHOLD,
     BackendError,
     DenseBackend,
     SparseBackend,
     as_backend_matrix,
+    backend_availability,
+    backend_telemetry,
     get_backend,
     is_sparse_matrix,
     resolve_backend,
@@ -66,6 +70,71 @@ class TestResolution:
         assert resolve_backend("auto", SPARSE_AUTO_THRESHOLD).name == "sparse"
         assert resolve_backend("auto", None).name == "dense"
 
+    def test_auto_band_boundaries(self):
+        """The three auto bands: dense ↔ LOBPCG midrange ↔ eigsh sparse."""
+        below = resolve_backend("auto", SPARSE_AUTO_THRESHOLD - 1)
+        assert below.name == "dense"
+        midrange = resolve_backend("auto", SPARSE_AUTO_THRESHOLD)
+        assert midrange.name == "sparse"
+        assert midrange.solver == ("lobpcg" if HAVE_LOBPCG else "eigsh")
+        upper = resolve_backend("auto", LOBPCG_AUTO_CEILING - 1)
+        assert upper.solver == ("lobpcg" if HAVE_LOBPCG else "eigsh")
+        large = resolve_backend("auto", LOBPCG_AUTO_CEILING)
+        assert large.name == "sparse"
+        assert large.solver == "eigsh"
+
+    def test_auto_degrades_to_dense_without_scipy(self, monkeypatch):
+        import repro.linalg.backends as backends
+
+        monkeypatch.setattr(backends, "HAVE_SCIPY", False)
+        for n in (SPARSE_AUTO_THRESHOLD, LOBPCG_AUTO_CEILING, 100_000):
+            assert backends.resolve_backend("auto", n).name == "dense"
+
+    def test_auto_midrange_degrades_to_eigsh_without_lobpcg(self, monkeypatch):
+        import repro.linalg.backends as backends
+
+        monkeypatch.setattr(backends, "HAVE_LOBPCG", False)
+        midrange = backends.resolve_backend("auto", SPARSE_AUTO_THRESHOLD)
+        assert midrange.name == "sparse"
+        assert midrange.solver == "eigsh"
+
+    def test_unknown_backend_error_lists_names_and_availability(self):
+        with pytest.raises(BackendError) as info:
+            get_backend("gpu")
+        message = str(info.value)
+        for name in ("auto", "dense", "sparse", "array"):
+            assert name in message
+
+    def test_backend_availability_reports_reasons(self):
+        availability = backend_availability()
+        assert set(availability) == {"auto", "dense", "sparse", "array"}
+        assert availability["dense"] is None  # always available
+        assert availability["auto"] is None
+        # scipy is installed in the dev environment
+        assert availability["sparse"] is None
+        assert availability["array"] is None
+
+    def test_backend_telemetry_rows(self):
+        assert backend_telemetry("dense") == {
+            "linalg_backend": "dense",
+            "eigensolver": "eigh",
+        }
+        assert backend_telemetry("auto", SPARSE_AUTO_THRESHOLD - 1) == {
+            "linalg_backend": "dense",
+            "eigensolver": "eigh",
+        }
+        midrange = backend_telemetry("auto", SPARSE_AUTO_THRESHOLD)
+        assert midrange["linalg_backend"] == "sparse"
+        assert midrange["eigensolver"] == ("lobpcg" if HAVE_LOBPCG else "eigsh")
+        large = backend_telemetry("auto", LOBPCG_AUTO_CEILING)
+        assert large["eigensolver"] == "eigsh"
+        array_row = backend_telemetry("array")
+        assert array_row["linalg_backend"].startswith("array[")
+        assert array_row["eigensolver"] == "eigh"
+        # small sparse problems fall back to the dense eigensolve
+        tiny = backend_telemetry("sparse", 8)
+        assert tiny == {"linalg_backend": "sparse", "eigensolver": "eigh"}
+
     def test_instance_passthrough(self):
         backend = SparseBackend()
         assert resolve_backend(backend, 8) is backend
@@ -117,6 +186,58 @@ class TestLowestEigenpairs:
         first, _ = backend.lowest_eigenpairs(laplacian, 2)
         second, _ = backend.lowest_eigenpairs(laplacian, 2)
         assert np.array_equal(first, second)
+
+
+@pytest.mark.skipif(not HAVE_LOBPCG, reason="scipy lobpcg unavailable")
+class TestLobpcgRoute:
+    def laplacian(self, n=400, seed=9):
+        graph, _ = sparse_mixed_sbm(n, 2, seed=seed)
+        return hermitian_laplacian(graph, backend="sparse")
+
+    def test_lobpcg_converges_and_matches_eigsh(self):
+        laplacian = self.laplacian()
+        lobpcg = SparseBackend(solver="lobpcg")
+        values, vectors = lobpcg.lowest_eigenpairs(laplacian, 2)
+        assert lobpcg.last_route == "lobpcg"
+        eigsh_values, eigsh_vectors = SparseBackend().lowest_eigenpairs(
+            laplacian, 2
+        )
+        assert np.allclose(values, eigsh_values, atol=1e-6)
+        proj = vectors @ vectors.conj().T
+        eigsh_proj = eigsh_vectors @ eigsh_vectors.conj().T
+        assert np.allclose(proj, eigsh_proj, atol=1e-4)
+
+    def test_lobpcg_is_deterministic(self):
+        laplacian = self.laplacian()
+        backend = SparseBackend(solver="lobpcg")
+        first, first_vectors = backend.lowest_eigenpairs(laplacian, 2)
+        second, second_vectors = backend.lowest_eigenpairs(laplacian, 2)
+        assert np.array_equal(first, second)
+        assert np.array_equal(first_vectors, second_vectors)
+
+    def test_non_convergence_falls_back_to_eigsh(self):
+        laplacian = self.laplacian()
+        starved = SparseBackend(
+            solver="lobpcg", lobpcg_maxiter=1, lobpcg_tolerance=1e-14
+        )
+        values, _ = starved.lowest_eigenpairs(laplacian, 2)
+        assert starved.last_route == "lobpcg->eigsh"
+        reference, _ = SparseBackend().lowest_eigenpairs(laplacian, 2)
+        assert np.allclose(values, reference, atol=1e-8)
+
+    def test_block_headroom_guard_routes_to_eigsh(self):
+        # 5k >= n leaves lobpcg no Krylov headroom; the route must skip
+        # straight to eigsh (or dense fallback) instead of diverging.
+        laplacian = self.laplacian()
+        backend = SparseBackend(solver="lobpcg", dense_fallback_dim=8)
+        k = laplacian.shape[0] // 5
+        values, _ = backend.lowest_eigenpairs(laplacian, k)
+        assert backend.last_route == "lobpcg->eigsh"
+        assert values.shape == (k,)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(BackendError, match="solver"):
+            SparseBackend(solver="arnoldi")
 
 
 class TestSparsePadding:

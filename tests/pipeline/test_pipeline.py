@@ -134,6 +134,8 @@ class TestResume:
             "seconds": after_full["laplacian"]["seconds"],
             "computed": 1,
             "loaded": 0,
+            "linalg_backend": "dense",
+            "eigensolver": "eigh",
         }
         QSCPipeline(2, CONFIG).run(graph, resume_from="readout", stages_dir=tmp_path)
         totals = stage_totals()
@@ -281,6 +283,43 @@ class TestTelemetry:
             for name, row in by_stage.items()
             if name != "laplacian"
         ) == 0
+
+    def test_backend_annotations_on_linalg_stages(self, graph):
+        result = QSCPipeline(2, CONFIG).run(graph)
+        by_stage = {row["stage"]: row for row in result.profile}
+        for stage in ("laplacian", "threshold"):
+            assert by_stage[stage]["linalg_backend"] == "dense"
+            assert by_stage[stage]["eigensolver"] == "eigh"
+        for stage in ("readout", "embedding", "qmeans"):
+            assert "linalg_backend" not in by_stage[stage]
+            assert "eigensolver" not in by_stage[stage]
+
+    def test_backend_annotations_follow_the_configured_backend(self, graph):
+        config = CONFIG.with_updates(linalg_backend="array")
+        result = QSCPipeline(2, config).run(graph)
+        by_stage = {row["stage"]: row for row in result.profile}
+        assert by_stage["laplacian"]["linalg_backend"].startswith("array[")
+
+    def test_totals_delta_copies_annotations(self, graph):
+        from repro.pipeline.telemetry import (
+            merge_totals,
+            profile_stage_rows,
+            totals_delta,
+        )
+
+        reset_stage_totals()
+        before = stage_totals()
+        QSCPipeline(2, CONFIG).run(graph)
+        delta = totals_delta(before, stage_totals())
+        assert delta["laplacian"]["linalg_backend"] == "dense"
+        assert delta["laplacian"]["eigensolver"] == "eigh"
+        assert "linalg_backend" not in delta["qmeans"]
+        merged = merge_totals({}, delta)
+        assert merged["laplacian"]["linalg_backend"] == "dense"
+        rows = profile_stage_rows(merged, order=STAGE_NAMES)
+        lap_row = next(row for row in rows if row["stage"] == "laplacian")
+        assert lap_row["linalg_backend"] == "dense"
+        assert lap_row["eigensolver"] == "eigh"
 
     def test_profile_excluded_from_result_equality(self):
         import dataclasses
